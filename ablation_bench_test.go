@@ -1,0 +1,61 @@
+// Ablation benchmarks for FLoc's design choices (DESIGN.md "design
+// deviations" 3, 4 and 6): the same CBR attack scenario with individual
+// mechanisms disabled, reporting the legitimate-path bandwidth share and
+// the attack share as custom metrics. Compare against BenchmarkFig6b
+// (full FLoc).
+package floc_test
+
+import (
+	"testing"
+
+	"floc"
+)
+
+func benchAblation(b *testing.B, mutate func(*floc.Scenario)) {
+	b.Helper()
+	var legit, attack float64
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(floc.DefFLoc, floc.AttackCBR)
+		mutate(&sc)
+		m, err := floc.RunScenario(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		legit = m.ClassShare(floc.ClassLegitLegit)
+		attack = m.ClassShare(floc.ClassAttack)
+	}
+	b.ReportMetric(legit, "legit_share")
+	b.ReportMetric(attack, "attack_share")
+}
+
+// BenchmarkAblationFull is the reference: all mechanisms on.
+func BenchmarkAblationFull(b *testing.B) {
+	benchAblation(b, func(sc *floc.Scenario) {})
+}
+
+// BenchmarkAblationNoPreferentialDrop: per-path token buckets only.
+// Expect legitimate flows inside attack paths to lose their protection.
+func BenchmarkAblationNoPreferentialDrop(b *testing.B) {
+	benchAblation(b, func(sc *floc.Scenario) { sc.NoPreferentialDrop = true })
+}
+
+// BenchmarkAblationNoEscalation: attack flows pinned at fair share but
+// never pushed below it. Expect a higher attack share at high rates.
+func BenchmarkAblationNoEscalation(b *testing.B) {
+	benchAblation(b, func(sc *floc.Scenario) { sc.NoEscalation = true })
+}
+
+// BenchmarkAblationWithAggregation: attack-path aggregation on
+// (|S|max = 25). Expect a higher legitimate-path share.
+func BenchmarkAblationWithAggregation(b *testing.B) {
+	benchAblation(b, func(sc *floc.Scenario) { sc.SMax = 25 })
+}
+
+// BenchmarkAblationScalableMode runs FLoc with the full Section V-B
+// efficient design (drop-ratio flow counting, probabilistic filter
+// updates, probabilistic array selection). Outcomes should stay close to
+// the reference: the scalable design trades memory/accesses, not
+// protection.
+func BenchmarkAblationScalableMode(b *testing.B) {
+	benchAblation(b, func(sc *floc.Scenario) { sc.ScalableMode = true })
+}

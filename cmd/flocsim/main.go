@@ -1,0 +1,162 @@
+// Command flocsim runs the paper's functional evaluation (Section VI):
+// one subcommand per figure, printing the figure's data series as TSV.
+//
+// Usage:
+//
+//	flocsim -fig 6b [-scale 0.1] [-seed 7]
+//	flocsim -fig 8 -rates 0.2,0.4,0.8,1.6,2.4,3.2,4.0
+//	flocsim -fig 10 -fanouts 1,2,4,8,12,16,20
+//
+// Scale 1.0 reproduces the paper's full size (500 Mb/s target link, 810
+// legitimate sources, 360 bots, 80 simulated seconds) and takes several
+// minutes per run; the default 0.1 preserves all rate ratios and runs in
+// seconds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"floc"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 2, 3, 4, 6a, 6b, 6c, 7, 8, 9, 10; extensions: timed, deploy, rep")
+	scale := flag.Float64("scale", 0.1, "topology scale in (0,1]; 1.0 = paper scale")
+	seed := flag.Uint64("seed", 7, "random seed")
+	rates := flag.String("rates", "0.4,0.8,2.0,4.0", "per-bot attack rates in Mb/s (figs 7, 8)")
+	fanouts := flag.String("fanouts", "1,4,8,12,20", "covert per-source fanouts (fig 10)")
+	format := flag.String("format", "tsv", "output format: tsv or json")
+	seeds := flag.String("seeds", "1,2,3", "comma-separated seeds for -fig rep")
+	flag.Parse()
+
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	table, err := run(*fig, *scale, *seed, *rates, *fanouts, *seeds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flocsim:", err)
+		os.Exit(1)
+	}
+	switch *format {
+	case "json":
+		out, err := json.MarshalIndent(table, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flocsim:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+	default:
+		fmt.Print(table.String())
+	}
+}
+
+func run(fig string, scale float64, seed uint64, rates, fanouts, seeds string) (*floc.Table, error) {
+	switch fig {
+	case "2":
+		return floc.Fig2(scale, seed)
+	case "3":
+		return floc.Fig3(scale, seed)
+	case "4":
+		return floc.Fig4(10, 8), nil
+	case "6a":
+		t, _, err := floc.Fig6(floc.AttackTCPPop, scale, seed)
+		return t, err
+	case "6b":
+		t, _, err := floc.Fig6(floc.AttackCBR, scale, seed)
+		return t, err
+	case "6c":
+		t, _, err := floc.Fig6(floc.AttackShrew, scale, seed)
+		return t, err
+	case "7":
+		r, err := parseRates(rates)
+		if err != nil {
+			return nil, err
+		}
+		return floc.Fig7(scale, r, seed)
+	case "8":
+		r, err := parseRates(rates)
+		if err != nil {
+			return nil, err
+		}
+		return floc.Fig8(scale, r, seed)
+	case "9":
+		return floc.Fig9(scale, seed)
+	case "10":
+		f, err := parseInts(fanouts)
+		if err != nil {
+			return nil, err
+		}
+		return floc.Fig10(scale, f, seed)
+	case "timed":
+		return floc.FigTimed(scale, seed)
+	case "deploy":
+		return floc.FigDeployment(scale, []float64{0.25, 0.5, 0.75, 1.0}, seed)
+	case "rep":
+		// Multi-seed replication of the headline CBR comparison: mean
+		// and standard deviation of each class share per defense.
+		seedList, err := parseSeeds(seeds)
+		if err != nil {
+			return nil, err
+		}
+		t := &floc.Table{
+			Title:   "Replication: CBR attack class shares, mean±std across seeds",
+			Columns: floc.ReplicationColumns,
+		}
+		for _, def := range []floc.DefenseKind{floc.DefFLoc, floc.DefPushback, floc.DefREDPD, floc.DefDropTail} {
+			sc := floc.DefaultScenario(def, floc.AttackCBR, scale)
+			rep, err := floc.Replicate(sc, seedList)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, rep.Row(string(def)))
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("unknown figure %q", fig)
+	}
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %w", part, err)
+		}
+		out = append(out, v*1e6)
+	}
+	return out, nil
+}
+
+func parseSeeds(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no seeds")
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import "testing"
+
+func TestParseRates(t *testing.T) {
+	r, err := parseRates("0.4, 2.0,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 3 || r[0] != 0.4e6 || r[2] != 4e6 {
+		t.Fatalf("rates = %v", r)
+	}
+	if _, err := parseRates("0.4,x"); err == nil {
+		t.Fatal("bad rate accepted")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	v, err := parseInts("1, 8,20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 3 || v[2] != 20 {
+		t.Fatalf("ints = %v", v)
+	}
+	if _, err := parseInts("1,zz"); err == nil {
+		t.Fatal("bad int accepted")
+	}
+}
+
+func TestParseSeeds(t *testing.T) {
+	s, err := parseSeeds("1,2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 3 || s[1] != 2 {
+		t.Fatalf("seeds = %v", s)
+	}
+	if _, err := parseSeeds("a"); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if _, err := run("99", 0.1, 1, "1", "1", "1"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	tab, err := run("4", 0.1, 1, "1", "1", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,55 @@
+// Command topogen generates and summarizes the evaluation topologies:
+// the functional tree of Fig. 5 and the synthetic Internet-scale AS
+// topologies rendered in Figs. 11 and 12.
+//
+// Usage:
+//
+//	topogen -kind tree
+//	topogen -kind inet [-attack-ases 300] [-separated]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"floc"
+)
+
+func main() {
+	kind := flag.String("kind", "inet", "topology kind: tree or inet")
+	attackASes := flag.Int("attack-ases", 100, "attacker dispersion (inet)")
+	separated := flag.Bool("separated", false, "separate legitimate from attack ASes (inet)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	switch *kind {
+	case "tree":
+		printTree(*seed)
+	case "inet":
+		table, err := floc.FigTopology(*attackASes, *separated, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		fmt.Print(table.String())
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func printTree(seed uint64) {
+	net := floc.NewNetwork(seed)
+	cfg := floc.DefaultTreeTopologyConfig()
+	tree, err := floc.NewTreeTopology(net, cfg, floc.NewFIFO(100))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# Fig.5 functional tree: height=%d degree=%d leaves=%d target=%.0f Mb/s\n",
+		cfg.Height, cfg.Degree, tree.NumLeaves(), cfg.TargetRateBits/1e6)
+	for i, p := range tree.LeafPaths {
+		fmt.Printf("leaf %02d\tpath %s\n", i, p)
+	}
+}

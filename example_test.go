@@ -1,0 +1,80 @@
+package floc_test
+
+import (
+	"fmt"
+
+	"floc"
+)
+
+// ExampleNewPathID shows domain path identifiers: the AS path from a
+// packet's origin domain to the measuring router's domain.
+func ExampleNewPathID() {
+	p := floc.NewPathID(7701, 3356, 2914)
+	fmt.Println(p)
+	fmt.Println("origin:", p.Origin())
+	fmt.Println("shares with sibling:", p.SharedPostfix(floc.NewPathID(9505, 3356, 2914)))
+	// Output:
+	// S[7701-3356-2914]
+	// origin: 7701
+	// shares with sibling: 2
+}
+
+// ExampleNewRouter attaches FLoc to a link and inspects the per-domain
+// state it builds from traffic.
+func ExampleNewRouter() {
+	router, err := floc.NewRouter(floc.DefaultRouterConfig(8e6, 100))
+	if err != nil {
+		panic(err)
+	}
+	// Drive the discipline directly: one conforming domain at 100 pkt/s
+	// against a 1000 pkt/s service rate.
+	path := floc.NewPathID(10, 1)
+	now := 0.0
+	for i := 0; i < 2000; i++ {
+		now += 0.01
+		router.Enqueue(&floc.Packet{
+			Src: 1, Dst: 2, Size: 1000, Kind: floc.KindUDP, Path: path,
+		}, now)
+		router.Dequeue(now)
+	}
+	info := router.PathInfos()[0]
+	fmt.Printf("path %s: conformance %.1f, attack %v, %d flow\n",
+		info.Key, info.Conformance, info.Attack, info.Flows)
+	fmt.Println("drops:", router.TotalDrops())
+	// Output:
+	// path 10-1: conformance 1.0, attack false, 1 flow
+	// drops: 0
+}
+
+// ExampleFig4 regenerates the paper's token-request model illustration.
+func ExampleFig4() {
+	table := floc.Fig4(10, 8)
+	fmt.Println(table.Rows[0].Label, table.Rows[0].Values[0]) // unsynchronized is flat
+	fmt.Println(table.Rows[len(table.Rows)-1].Label)
+	// Output:
+	// phase=0.00 60
+	// utilization
+}
+
+// ExampleGenerateInternetTopology builds a synthetic Internet-scale
+// topology with a CBL-like bot concentration.
+func ExampleGenerateInternetTopology() {
+	cfg := floc.DefaultInternetTopologyConfig(floc.JPN)
+	cfg.TotalASes = 300
+	cfg.LegitASes = 50
+	cfg.AttackASes = 25
+	cfg.LegitSources = 1000
+	cfg.AttackSources = 5000
+	topo, err := floc.GenerateInternetTopology(cfg)
+	if err != nil {
+		panic(err)
+	}
+	st := topo.Summarize()
+	fmt.Println("ASes:", st.ASes)
+	fmt.Println("attack ASes:", st.AttackASes)
+	fmt.Println("bots concentrated:", st.BotsInTop5PercentASesFrac > 0.2)
+	// Output:
+	// ASes: 300
+	// attack ASes: 25
+	// bots concentrated: true
+}

@@ -1,0 +1,41 @@
+// Covert attack (paper Sections IV-B.3 and VI-D): each bot opens many
+// concurrent low-rate flows to distinct destinations; individually every
+// flow looks legitimate, collectively they flood the link. FLoc's
+// capability construction maps all of a source's destinations into n_max
+// fan-out slots, so the bundle is accounted — and penalized — as a
+// high-rate flow.
+//
+// Run with: go run ./examples/covertattack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"floc"
+)
+
+func main() {
+	const scale = 0.1
+	const fanout = 8 // 8 flows x 0.2 Mb/s per bot = 1.6 Mb/s per bot
+
+	for _, nmax := range []int{0, 2} {
+		sc := floc.DefaultScenario(floc.DefFLoc, floc.AttackCovert, scale)
+		sc.AttackRateBits = 0.2e6
+		sc.CovertFanout = fanout
+		sc.NMax = nmax
+		sc.Duration = 40
+		sc.MeasureFrom = 15
+		m, err := floc.RunScenario(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "without n_max"
+		if nmax > 0 {
+			label = fmt.Sprintf("with n_max=%d   ", nmax)
+		}
+		legit := m.ClassShare(floc.ClassLegitLegit) + m.ClassShare(floc.ClassLegitAttackPath)
+		fmt.Printf("%s  legit=%5.1f%%  covert-attack=%5.1f%%\n",
+			label, 100*legit, 100*m.ClassShare(floc.ClassAttack))
+	}
+}

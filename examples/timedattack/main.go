@@ -1,0 +1,36 @@
+// Timed attacks (an extension beyond the paper's evaluation): the
+// on-off and rolling attacks the paper's Related Work names as defeating
+// defenses that chase sustained per-location volume. Bots either pulse
+// in unison (on-off) or take turns attacking from different domains
+// (rolling), keeping the same long-run volume as the steady CBR attack.
+//
+// FLoc identifies attack flows by their drop behaviour rather than by
+// sustained volume at a location, so the timed variants gain little.
+//
+// Run with: go run ./examples/timedattack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"floc"
+)
+
+func main() {
+	const scale = 0.1
+	for _, def := range []floc.DefenseKind{floc.DefFLoc, floc.DefPushback} {
+		for _, atk := range []floc.AttackKind{floc.AttackCBR, floc.AttackOnOff, floc.AttackRolling} {
+			sc := floc.DefaultScenario(def, atk, scale)
+			sc.Duration = 40
+			sc.MeasureFrom = 10
+			m, err := floc.RunScenario(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-9s %-8s legit=%5.1f%%  attack=%5.1f%%\n",
+				def, atk, 100*m.ClassShare(floc.ClassLegitLegit), 100*m.ClassShare(floc.ClassAttack))
+		}
+		fmt.Println()
+	}
+}

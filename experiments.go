@@ -1,0 +1,140 @@
+package floc
+
+import (
+	"floc/internal/experiments"
+	"floc/internal/topology"
+)
+
+// --- The paper's experiments, one per evaluation figure ---
+
+// Scenario fully describes a functional-evaluation run (Section VI).
+type Scenario = experiments.Scenario
+
+// Measurement is a functional run's collected metrics.
+type Measurement = experiments.Measurement
+
+// Table is a figure's data in printable (TSV) form.
+type Table = experiments.Table
+
+// TableRow is one labeled data row of a Table.
+type TableRow = experiments.Row
+
+// ReplicationColumns are the column names matching Replication.Row.
+var ReplicationColumns = experiments.ReplicationColumns
+
+// DefenseKind names a defense under evaluation.
+type DefenseKind = experiments.DefenseKind
+
+// AttackKind names an attack traffic model.
+type AttackKind = experiments.AttackKind
+
+// Defenses.
+const (
+	DefFLoc     = experiments.DefFLoc
+	DefPushback = experiments.DefPushback
+	DefREDPD    = experiments.DefREDPD
+	DefRED      = experiments.DefRED
+	DefDropTail = experiments.DefDropTail
+)
+
+// Attacks.
+const (
+	AttackNone    = experiments.AttackNone
+	AttackTCPPop  = experiments.AttackTCPPop
+	AttackCBR     = experiments.AttackCBR
+	AttackShrew   = experiments.AttackShrew
+	AttackCovert  = experiments.AttackCovert
+	AttackOnOff   = experiments.AttackOnOff
+	AttackRolling = experiments.AttackRolling
+)
+
+// Flow classes for differential-guarantee metrics.
+const (
+	ClassLegitLegit      = experiments.ClassLegitLegit
+	ClassLegitAttackPath = experiments.ClassLegitAttackPath
+	ClassAttack          = experiments.ClassAttack
+)
+
+// DefaultScenario returns the paper's base setup at the given scale
+// (1.0 = the paper's 500 Mb/s, 810 legitimate sources, 360 bots).
+func DefaultScenario(def DefenseKind, atk AttackKind, scale float64) Scenario {
+	return experiments.DefaultScenario(def, atk, scale)
+}
+
+// RunScenario executes a functional-evaluation scenario.
+func RunScenario(sc Scenario) (*Measurement, error) { return experiments.Run(sc) }
+
+// Fig2 regenerates the service-vs-drop-rate motivation plot.
+func Fig2(scale float64, seed uint64) (*Table, error) { return experiments.Fig2(scale, seed) }
+
+// Fig3 regenerates the packet-size distribution.
+func Fig3(scale float64, seed uint64) (*Table, error) { return experiments.Fig3(scale, seed) }
+
+// Fig4 regenerates the token-request model illustration for n flows of
+// peak window w.
+func Fig4(n int, w float64) *Table { return experiments.Fig4(n, w) }
+
+// Fig6 regenerates the attack-confinement time series for one attack
+// kind ("tcp-pop", "cbr", "shrew").
+func Fig6(kind AttackKind, scale float64, seed uint64) (*Table, *Measurement, error) {
+	return experiments.Fig6(kind, scale, seed)
+}
+
+// Fig7 regenerates the bandwidth-robustness CDF comparison.
+func Fig7(scale float64, rates []float64, seed uint64) (*Table, error) {
+	return experiments.Fig7(scale, rates, seed)
+}
+
+// Fig8 regenerates the differential bandwidth-guarantee comparison.
+func Fig8(scale float64, rates []float64, seed uint64) (*Table, error) {
+	return experiments.Fig8(scale, rates, seed)
+}
+
+// Fig9 regenerates the legitimate-path-aggregation comparison.
+func Fig9(scale float64, seed uint64) (*Table, error) { return experiments.Fig9(scale, seed) }
+
+// Fig10 regenerates the covert-attack comparison.
+func Fig10(scale float64, fanouts []int, seed uint64) (*Table, error) {
+	return experiments.Fig10(scale, fanouts, seed)
+}
+
+// FigTimed runs the timed-attack (on-off / rolling) extension experiment.
+func FigTimed(scale float64, seed uint64) (*Table, error) {
+	return experiments.FigTimed(scale, seed)
+}
+
+// FigDeployment runs the incremental-deployment extension experiment.
+func FigDeployment(scale float64, fractions []float64, seed uint64) (*Table, error) {
+	return experiments.FigDeployment(scale, fractions, seed)
+}
+
+// InetFigConfig parameterizes the Internet-scale figures.
+type InetFigConfig = experiments.InetFigConfig
+
+// DefaultInetFigConfig returns the configuration for "fig13", "fig14" or
+// "fig15" at the given scale.
+func DefaultInetFigConfig(figure string, scale float64) (InetFigConfig, error) {
+	return experiments.DefaultInetFigConfig(figure, scale)
+}
+
+// FigInternet regenerates an Internet-scale comparison (Figs. 13-15).
+func FigInternet(cfg InetFigConfig) (*Table, error) { return experiments.FigInternet(cfg) }
+
+// FigTopology summarizes the generated Internet topologies (Figs. 11-12).
+func FigTopology(attackASes int, separated bool, seed uint64) (*Table, error) {
+	return experiments.FigTopology(attackASes, separated, seed)
+}
+
+// Replication aggregates a scenario's metrics over several seeds.
+type Replication = experiments.Replication
+
+// Replicate runs a scenario once per seed and aggregates its
+// differential-guarantee metrics (mean and standard deviation).
+func Replicate(sc Scenario, seeds []uint64) (*Replication, error) {
+	return experiments.Replicate(sc, seeds)
+}
+
+// InternetProfiles returns the three topology profiles in paper order.
+func InternetProfiles() []InternetProfile {
+	return []topology.Profile{topology.FRoot, topology.HRoot, topology.JPN}
+}

@@ -1,0 +1,208 @@
+// Package floc is a reproduction of "FLoc: Dependable Link Access for
+// Legitimate Traffic in Flooding Attacks" (Lee & Gligor, ICDCS 2010): a
+// router subsystem that confines the effects of link-flooding attacks to
+// the domains that originate them and provides differential bandwidth
+// guarantees at a congested link.
+//
+// The package is a facade over the implementation:
+//
+//   - The FLoc router itself (token-bucket bandwidth guarantees per domain
+//     path identifier, MTD-based attack-flow identification, preferential
+//     drops, and attack/legitimate path aggregation) — NewRouter. The
+//     router implements the simulator's queue-discipline interface and can
+//     be attached to any link.
+//   - The packet-level discrete-event simulator used by the functional
+//     evaluation (paper Section VI) — NewNetwork, NewLink, topology
+//     builders — together with TCP endpoints, attack traffic generators
+//     and the baseline defenses (RED, RED-PD, Pushback).
+//   - The Internet-scale discrete-tick simulator (Section VII) —
+//     GenerateInternetTopology, NewInternetSim.
+//   - The paper's experiments, one per figure — RunScenario and the
+//     Fig* helpers re-exported in experiments.go.
+//
+// Everything is implemented from scratch on the Go standard library and
+// is fully deterministic given a seed.
+package floc
+
+import (
+	"floc/internal/core"
+	"floc/internal/defense"
+	"floc/internal/inetsim"
+	"floc/internal/netsim"
+	"floc/internal/pathid"
+	"floc/internal/topology"
+)
+
+// --- The FLoc router (the paper's contribution) ---
+
+// RouterConfig parameterizes a FLoc router; see DefaultRouterConfig.
+type RouterConfig = core.Config
+
+// Router is the FLoc router subsystem. It implements Discipline: attach
+// it to the link that needs dependable access guarantees.
+type Router = core.Router
+
+// PathInfo is the externally visible state of one origin path identifier.
+type PathInfo = core.PathInfo
+
+// DefaultRouterConfig returns the evaluation defaults for a link of
+// linkRateBits bits/second with a buffer of capacity packets.
+func DefaultRouterConfig(linkRateBits float64, capacity int) RouterConfig {
+	return core.DefaultConfig(linkRateBits, capacity)
+}
+
+// NewRouter builds a FLoc router.
+func NewRouter(cfg RouterConfig) (*Router, error) { return core.NewRouter(cfg) }
+
+// --- Domain path identifiers ---
+
+// ASN is an Autonomous System number.
+type ASN = pathid.ASN
+
+// PathID is a domain path identifier S_i = {AS_i, ..., AS_1} (origin
+// first).
+type PathID = pathid.PathID
+
+// NewPathID builds a PathID from origin-first AS numbers.
+func NewPathID(asns ...ASN) PathID { return pathid.New(asns...) }
+
+// --- Discrete-event network simulator ---
+
+// Network is the discrete-event simulation engine.
+type Network = netsim.Network
+
+// Link is a unidirectional link with a pluggable queue discipline.
+type Link = netsim.Link
+
+// Packet is one simulated packet.
+type Packet = netsim.Packet
+
+// Discipline is a link's queue management policy; Router, RED, REDPD and
+// Pushback all implement it.
+type Discipline = netsim.Discipline
+
+// NewNetwork returns a simulation engine seeded deterministically.
+func NewNetwork(seed uint64) *Network { return netsim.New(seed) }
+
+// NewLink creates a link with rate in bits/second, propagation delay in
+// seconds, queue discipline disc, delivering to dst.
+func NewLink(name string, rateBits, delay float64, disc Discipline, dst netsim.Endpoint) (*Link, error) {
+	return netsim.NewLink(name, rateBits, delay, disc, dst)
+}
+
+// NewFIFO returns a plain bounded drop-tail queue (the no-defense
+// baseline).
+func NewFIFO(capacity int) *netsim.FIFO { return netsim.NewFIFO(capacity) }
+
+// --- Baseline defenses (paper Section VI comparisons) ---
+
+// NewRED returns a classic RED queue with standard parameters.
+func NewRED(capacity int, seed uint64) (Discipline, error) {
+	return defense.NewRED(defense.DefaultREDConfig(capacity, seed))
+}
+
+// NewREDPD returns a RED-PD discipline (per-flow preferential dropping of
+// identified high-bandwidth flows).
+func NewREDPD(capacity int, seed uint64) (Discipline, error) {
+	return defense.NewREDPD(defense.DefaultREDPDConfig(capacity, seed))
+}
+
+// NewPushback returns an aggregate-congestion-control (Pushback)
+// discipline for a link of linkRateBits.
+func NewPushback(capacity int, linkRateBits float64, seed uint64) (Discipline, error) {
+	return defense.NewPushback(defense.DefaultPushbackConfig(capacity, linkRateBits, seed))
+}
+
+// --- Evaluation topologies ---
+
+// TreeTopology is the functional-evaluation tree of paper Fig. 5.
+type TreeTopology = topology.Tree
+
+// TreeTopologyConfig parameterizes the tree.
+type TreeTopologyConfig = topology.TreeConfig
+
+// DefaultTreeTopologyConfig returns the paper's Fig. 5 parameters
+// (height 3, degree 3, 500 Mb/s target link).
+func DefaultTreeTopologyConfig() TreeTopologyConfig { return topology.DefaultTreeConfig() }
+
+// NewTreeTopology builds the tree with disc as the flooded link's queue
+// discipline.
+func NewTreeTopology(net *Network, cfg TreeTopologyConfig, disc Discipline) (*TreeTopology, error) {
+	return topology.NewTree(net, cfg, disc)
+}
+
+// InternetTopology is a synthetic Internet-scale AS topology (paper
+// Section VII-A).
+type InternetTopology = topology.Inet
+
+// InternetProfile selects a topology flavor (FRoot, HRoot, JPN).
+type InternetProfile = topology.Profile
+
+// Internet topology profiles.
+const (
+	FRoot = topology.FRoot
+	HRoot = topology.HRoot
+	JPN   = topology.JPN
+)
+
+// GenerateInternetTopology builds a synthetic Internet-scale topology.
+func GenerateInternetTopology(cfg topology.InetConfig) (*InternetTopology, error) {
+	return topology.GenerateInet(cfg)
+}
+
+// DefaultInternetTopologyConfig returns the paper's Section VII setup.
+func DefaultInternetTopologyConfig(p InternetProfile) topology.InetConfig {
+	return topology.DefaultInetConfig(p)
+}
+
+// --- Internet-scale simulator ---
+
+// InternetSim is the discrete-tick Internet-scale simulator (Section
+// VII-B).
+type InternetSim = inetsim.Sim
+
+// InternetSimConfig parameterizes it.
+type InternetSimConfig = inetsim.Config
+
+// InternetSimResult is a run's measurement.
+type InternetSimResult = inetsim.Result
+
+// Internet-scale defense kinds.
+const (
+	InetNoDefense = inetsim.NoDefense
+	InetFairFlow  = inetsim.FairFlow
+	InetFLoc      = inetsim.FLoc
+)
+
+// DefaultInternetSimConfig returns the paper's Section VII parameters.
+func DefaultInternetSimConfig(topo *InternetTopology, def inetsim.DefenseKind) InternetSimConfig {
+	return inetsim.DefaultConfig(topo, def)
+}
+
+// NewInternetSim builds an Internet-scale simulation.
+func NewInternetSim(cfg InternetSimConfig) (*InternetSim, error) { return inetsim.New(cfg) }
+
+// Packet kinds carried by the simulator.
+const (
+	KindSYN    = netsim.KindSYN
+	KindSYNACK = netsim.KindSYNACK
+	KindData   = netsim.KindData
+	KindACK    = netsim.KindACK
+	KindUDP    = netsim.KindUDP
+)
+
+// DropReason classifies FLoc router drops.
+type DropReason = core.DropReason
+
+// FLoc drop reasons.
+const (
+	DropNoToken         = core.DropNoToken
+	DropRandomThreshold = core.DropRandomThreshold
+	DropPreferential    = core.DropPreferential
+	DropBlocked         = core.DropBlocked
+	DropOverflow        = core.DropOverflow
+)
+
+// RouterSnapshot is a point-in-time view of a Router's state
+// (Router.Snapshot), with a human-readable String rendering.
+type RouterSnapshot = core.Snapshot

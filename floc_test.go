@@ -1,0 +1,141 @@
+package floc_test
+
+import (
+	"strings"
+	"testing"
+
+	"floc"
+)
+
+// endpointSink counts deliveries for the facade smoke tests.
+type endpointSink struct{ n int }
+
+func (e *endpointSink) Receive(net *floc.Network, pkt *floc.Packet) { e.n++ }
+
+func TestFacadeRouterOnLink(t *testing.T) {
+	router, err := floc.NewRouter(floc.DefaultRouterConfig(8e6, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := floc.NewNetwork(1)
+	sink := &endpointSink{}
+	link, err := floc.NewLink("l", 8e6, 0.001, router, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := floc.NewPathID(10, 1)
+	var send func()
+	send = func() {
+		link.Send(net, &floc.Packet{
+			ID: net.NextPacketID(), Src: 1, Dst: 2, Size: 1000,
+			Kind: floc.KindUDP, Path: path,
+		})
+		if net.Now() < 2 {
+			net.ScheduleIn(0.01, send)
+		}
+	}
+	net.Schedule(0, send)
+	net.Run(3)
+	if sink.n == 0 {
+		t.Fatal("nothing delivered through FLoc-protected link")
+	}
+	if len(router.PathInfos()) != 1 {
+		t.Fatalf("paths = %d", len(router.PathInfos()))
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	if _, err := floc.NewRED(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := floc.NewREDPD(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := floc.NewPushback(100, 1e6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if floc.NewFIFO(10) == nil {
+		t.Fatal("nil FIFO")
+	}
+}
+
+func TestFacadeTreeTopology(t *testing.T) {
+	net := floc.NewNetwork(1)
+	cfg := floc.DefaultTreeTopologyConfig()
+	cfg.TargetRateBits = 10e6
+	tree, err := floc.NewTreeTopology(net, cfg, floc.NewFIFO(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() != 27 {
+		t.Fatalf("leaves = %d", tree.NumLeaves())
+	}
+}
+
+func TestFacadeInternetTopologyAndSim(t *testing.T) {
+	tcfg := floc.DefaultInternetTopologyConfig(floc.JPN)
+	tcfg.LegitSources = 500
+	tcfg.AttackSources = 2000
+	tcfg.TotalASes = 300
+	tcfg.LegitASes = 40
+	tcfg.AttackASes = 20
+	topo, err := floc.GenerateInternetTopology(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := floc.DefaultInternetSimConfig(topo, floc.InetFLoc)
+	scfg.CapacityPerTick = 500
+	scfg.Ticks = 200
+	scfg.WarmupTicks = 50
+	sim, err := floc.NewInternetSim(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	total := res.Share[0] + res.Share[1] + res.Share[2]
+	if total <= 0 || total > 1.01 {
+		t.Fatalf("shares = %v", res.Share)
+	}
+}
+
+func TestFacadeFig4(t *testing.T) {
+	tab := floc.Fig4(10, 8)
+	if !strings.Contains(tab.String(), "Fig.4") {
+		t.Fatal("bad table")
+	}
+}
+
+func TestFacadeScenario(t *testing.T) {
+	sc := floc.DefaultScenario(floc.DefFLoc, floc.AttackCBR, 0.05)
+	sc.Duration = 15
+	sc.MeasureFrom = 5
+	m, err := floc.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Utilization <= 0 {
+		t.Fatal("zero utilization")
+	}
+}
+
+func TestFacadeInetFigConfig(t *testing.T) {
+	if _, err := floc.DefaultInetFigConfig("fig13", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := floc.DefaultInetFigConfig("fig99", 0.1); err == nil {
+		t.Fatal("bad figure accepted")
+	}
+	if got := len(floc.InternetProfiles()); got != 3 {
+		t.Fatalf("profiles = %d", got)
+	}
+}
+
+func TestFacadeFigTopology(t *testing.T) {
+	tab, err := floc.FigTopology(100, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}

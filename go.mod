@@ -1,0 +1,3 @@
+module floc
+
+go 1.22

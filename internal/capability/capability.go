@@ -1,0 +1,182 @@
+// Package capability implements FLoc's network-layer flow capabilities
+// (paper Sections III-A and IV-B.3).
+//
+// During connection establishment a router issues an authenticated flow
+// identifier — a capability — that only the router itself can verify. The
+// capability has two parts:
+//
+//	C0 = Hash(IP_s, IP_d,    S_i, K0)   — flow-identifier authenticity
+//	C1 = Hash(IP_s, F(IP_d), S_i, K1)   — per-source fan-out control
+//
+// F maps the destination into one of n_max slots, so a source can hold at
+// most n_max distinct C1 values through a given router. All of a source's
+// concurrent flows that fall in one slot share a C1 and are accounted as a
+// single (virtual) flow, which is how FLoc turns a covert attack's many
+// "legitimate-looking" low-rate flows into one identifiable high-rate flow.
+package capability
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"floc/internal/pathid"
+)
+
+// Capability is an issued flow capability.
+type Capability struct {
+	// C0 authenticates the exact flow (source, destination, path).
+	C0 uint64
+	// C1 authenticates the (source, destination-slot, path) aggregate used
+	// for fan-out accounting.
+	C1 uint64
+	// Slot is F(IP_d), the fan-out slot in [0, n_max) that C1 covers.
+	Slot int
+}
+
+// Issuer issues and verifies capabilities for one router. It holds the
+// router's two secret keys and the configured fan-out limit n_max.
+type Issuer struct {
+	key0 []byte
+	key1 []byte
+	nmax int
+}
+
+// NewIssuer creates an Issuer with the router secret and fan-out limit
+// nmax >= 1. The two per-purpose keys K0, K1 are derived from the secret.
+func NewIssuer(secret []byte, nmax int) (*Issuer, error) {
+	if nmax < 1 {
+		return nil, fmt.Errorf("capability: nmax %d < 1", nmax)
+	}
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("capability: empty router secret")
+	}
+	derive := func(label byte) []byte {
+		h := hmac.New(sha256.New, secret)
+		h.Write([]byte{label})
+		return h.Sum(nil)
+	}
+	return &Issuer{key0: derive(0), key1: derive(1), nmax: nmax}, nil
+}
+
+// NMax returns the configured per-source fan-out limit.
+func (is *Issuer) NMax() int { return is.nmax }
+
+// Issue creates the capability for flow (src, dst) over path p.
+func (is *Issuer) Issue(src, dst uint32, p pathid.PathID) Capability {
+	slot := is.slot(dst)
+	return Capability{
+		C0:   is.mac(is.key0, src, dst, p),
+		C1:   is.mac(is.key1, src, uint32(slot), p),
+		Slot: slot,
+	}
+}
+
+// Verify checks that c is the capability this router would issue for
+// (src, dst, p).
+func (is *Issuer) Verify(c Capability, src, dst uint32, p pathid.PathID) bool {
+	want := is.Issue(src, dst, p)
+	return c.C0 == want.C0 && c.C1 == want.C1 && c.Slot == want.Slot
+}
+
+// slot computes F(IP_d): a keyed uniform mapping of the destination into
+// [0, n_max).
+func (is *Issuer) slot(dst uint32) int {
+	h := hmac.New(sha256.New, is.key1)
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], dst)
+	h.Write(buf[:])
+	v := binary.BigEndian.Uint64(h.Sum(nil)[:8])
+	return int(v % uint64(is.nmax))
+}
+
+// mac computes the truncated HMAC over (a, b, path).
+func (is *Issuer) mac(key []byte, a, b uint32, p pathid.PathID) uint64 {
+	h := hmac.New(sha256.New, key)
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], a)
+	h.Write(buf[:])
+	binary.BigEndian.PutUint32(buf[:], b)
+	h.Write(buf[:])
+	for _, as := range p {
+		binary.BigEndian.PutUint32(buf[:], uint32(as))
+		h.Write(buf[:])
+	}
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// FlowKey is the accounting identity of a flow at a router: all flows of a
+// source that share a fan-out slot collapse to one key, implementing the
+// covert-attack countermeasure of Section IV-B.3.
+type FlowKey struct {
+	Src  uint32
+	C1   uint64
+	Slot int
+}
+
+// Key returns the accounting key covered by capability c for source src.
+func Key(src uint32, c Capability) FlowKey {
+	return FlowKey{Src: src, C1: c.C1, Slot: c.Slot}
+}
+
+// Accountant tracks, per source, which fan-out slots are in use and rejects
+// capability issuance beyond n_max concurrent destinations whose slots are
+// all distinct — i.e. it limits the number of *capabilities* (virtual
+// flows) a source can hold through the router.
+type Accountant struct {
+	nmax int
+	// perSource maps a source to its active destination count per slot.
+	perSource map[uint32]map[int]int
+}
+
+// NewAccountant returns an Accountant enforcing the issuer's n_max.
+func NewAccountant(nmax int) *Accountant {
+	if nmax < 1 {
+		nmax = 1
+	}
+	return &Accountant{nmax: nmax, perSource: map[uint32]map[int]int{}}
+}
+
+// Open records a new flow for src in the capability's slot. It never
+// rejects: the point of the slot construction is that excess flows pile
+// into an existing slot and are rate-accounted together, not refused.
+// It returns the number of flows now sharing the slot.
+func (a *Accountant) Open(src uint32, c Capability) int {
+	slots := a.perSource[src]
+	if slots == nil {
+		slots = map[int]int{}
+		a.perSource[src] = slots
+	}
+	slots[c.Slot]++
+	return slots[c.Slot]
+}
+
+// Close records flow termination.
+func (a *Accountant) Close(src uint32, c Capability) {
+	slots := a.perSource[src]
+	if slots == nil {
+		return
+	}
+	if slots[c.Slot] > 0 {
+		slots[c.Slot]--
+	}
+	if slots[c.Slot] == 0 {
+		delete(slots, c.Slot)
+	}
+	if len(slots) == 0 {
+		delete(a.perSource, src)
+	}
+}
+
+// ActiveSlots returns how many distinct fan-out slots src currently uses;
+// it is bounded by n_max.
+func (a *Accountant) ActiveSlots(src uint32) int { return len(a.perSource[src]) }
+
+// SlotFlows returns how many concurrent flows of src share slot.
+func (a *Accountant) SlotFlows(src uint32, slot int) int {
+	return a.perSource[src][slot]
+}
+
+// Sources returns the number of sources with at least one open flow.
+func (a *Accountant) Sources() int { return len(a.perSource) }

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"floc/internal/stats"
+	"floc/internal/tcpmodel"
+)
+
+// runControl is FLoc's periodic measurement and control loop: flow expiry,
+// conformance updates (Eq. IV.6), aggregation (Section IV-C), token-bucket
+// parameter recomputation (Eqs. IV.1-IV.3), and attack-path detection
+// (Section IV-B.1).
+func (r *Router) runControl(now float64) {
+	interval := now - r.lastControl
+	if r.controlRuns == 0 || interval <= 0 {
+		interval = r.cfg.ControlInterval
+	}
+	r.lastControl = now
+	r.controlRuns++
+
+	r.expireFlows(now)
+	r.updateConformance(now)
+	r.planAggregation()
+	r.recomputeParams(now, interval)
+}
+
+// expireFlows drops idle flows and empty origin paths, and rolls the
+// per-flow admitted-rate meters.
+func (r *Router) expireFlows(now float64) {
+	for key, ps := range r.origins {
+		for fk, fs := range ps.flows {
+			if now-fs.lastSeen > r.cfg.FlowTimeout {
+				delete(ps.flows, fk)
+				continue
+			}
+			fs.admittedRate = 0.5*(fs.admitted/r.cfg.ControlInterval) + 0.5*fs.admittedRate
+			fs.arrivedRate = 0.5*(fs.arrived/r.cfg.ControlInterval) + 0.5*fs.arrivedRate
+			fs.admitted = 0
+			fs.arrived = 0
+			// Escalate penalties for flows that keep over-subscribing
+			// their fair share; relax as soon as they respond.
+			if fair := r.fairShare(ps.effective()); fair > 0 && !r.cfg.DisableEscalation {
+				if fs.arrivedRate > 1.2*fair {
+					fs.escalation = math.Min(8, math.Max(1, fs.escalation)*1.25)
+				} else {
+					fs.escalation = math.Max(1, fs.escalation*0.7)
+				}
+			}
+		}
+		if len(ps.flows) == 0 && ps.arrivedTokens == 0 && now-ps.createdAt > r.cfg.FlowTimeout {
+			delete(r.origins, key)
+			r.tree.Remove(ps.id)
+		}
+	}
+}
+
+// updateConformance counts attack flows per origin path via the drop
+// filter and advances the conformance EWMA (Eq. IV.6).
+func (r *Router) updateConformance(now float64) {
+	for _, ps := range r.origins {
+		eff := ps.effective()
+		fair := r.fairShare(eff)
+		attack := 0
+		for _, fs := range ps.flows {
+			st := r.filter.Query(fs.hash, now, r.epoch(eff), r.filterK(eff))
+			// A flow is an attack flow if its drop record shows excess
+			// drops (Section IV-B.2) or its offered rate persistently
+			// exceeds its fair share (the signal Eq. IV.5's bound acts
+			// on).
+			if st.Excess() >= r.cfg.AttackExcessThreshold ||
+				(fair > 0 && fs.arrivedRate > 1.5*fair) {
+				attack++
+			}
+		}
+		ps.attackFlows = attack
+		n := len(ps.flows)
+		if n > 0 {
+			sample := 1 - float64(attack)/float64(n)
+			ps.conformance = r.cfg.Beta*sample + (1-r.cfg.Beta)*ps.conformance
+		}
+		if ps.leaf != nil {
+			ps.leaf.Conformance = ps.conformance
+			ps.leaf.Flows = n
+			ps.leaf.Attack = ps.conformance < r.cfg.EThreshold
+		}
+	}
+}
+
+// rttOf returns a path's (scaled, under-estimated) RTT for parameter
+// computation; aggregates use the flow-weighted mean of their members.
+func (r *Router) rttOf(ps *pathState) float64 {
+	raw := 0.0
+	if ps.members == nil {
+		if ps.rtt.Initialized() {
+			raw = ps.rtt.Value()
+		}
+	} else {
+		num, den := 0.0, 0.0
+		for _, m := range ps.members {
+			if !m.rtt.Initialized() {
+				continue
+			}
+			w := math.Max(1, float64(len(m.flows)))
+			num += m.rtt.Value() * w
+			den += w
+		}
+		if den > 0 {
+			raw = num / den
+		}
+	}
+	if raw <= 0 {
+		raw = r.cfg.DefaultRTT
+	}
+	return raw * r.cfg.RTTScale
+}
+
+// guaranteedPaths returns the current bandwidth-guaranteed identifiers:
+// non-aggregated origin paths plus aggregates, deterministically ordered.
+func (r *Router) guaranteedPaths() []*pathState {
+	out := make([]*pathState, 0, len(r.origins)+len(r.aggs))
+	for _, ps := range r.origins {
+		if ps.aggregate == nil {
+			out = append(out, ps)
+		}
+	}
+	for _, ps := range r.aggs {
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// GuaranteedPathCount returns the number of bandwidth-guaranteed path
+// identifiers (after aggregation).
+func (r *Router) GuaranteedPathCount() int { return len(r.guaranteedPaths()) }
+
+// recomputeParams refreshes every guaranteed path's bandwidth share,
+// token-bucket parameters, attack-path flag, and the router's Q_max.
+func (r *Router) recomputeParams(now, interval float64) {
+	paths := r.guaranteedPaths()
+	if len(paths) == 0 {
+		return
+	}
+	totalShares := 0
+	for _, ps := range paths {
+		totalShares += ps.shares
+	}
+	if totalShares == 0 {
+		totalShares = len(paths)
+	}
+	linkPkts := r.cfg.linkRatePackets()
+	sumBurst := 0.0
+
+	for _, ps := range paths {
+		// Smoothed request rate (tokens/second).
+		rate := ps.arrivedTokens / interval
+		if ps.lambda == 0 {
+			ps.lambda = rate
+		} else {
+			ps.lambda = 0.5*rate + 0.5*ps.lambda
+		}
+
+		alloc := linkPkts * float64(ps.shares) / float64(totalShares)
+		ps.alloc = alloc
+
+		n := ps.flowCount()
+		if r.cfg.EstimateFlows {
+			n = r.estimateFlowCount(ps, alloc, interval)
+		}
+		if n < 1 {
+			n = 1
+		}
+		rtt := r.rttOf(ps)
+		params, err := tcpmodel.Compute(alloc, n, rtt)
+		if err == nil {
+			ps.params = params
+			size := params.BucketBurst
+			if ps.bucketFlood {
+				size = params.Bucket
+			}
+			period, size := normalizeBucket(params.Period, size)
+			_ = ps.bucket.SetParams(period, size)
+		}
+		sumBurst += math.Sqrt(float64(n)) * ps.params.Window
+
+		// Attack-path detection: the aggregate's mean drop interval fell
+		// below the token period while the request rate exceeds the
+		// allocation plus the reference drop rate.
+		// The 10% margin keeps adaptive TCP aggregates, which probe just
+		// above their allocation by design, from being misflagged.
+		if ps.drops > 0 && ps.params.Period > 0 {
+			meanDropInterval := interval / float64(ps.drops)
+			overRate := ps.lambda > 1.1*alloc+1/ps.params.Period
+			if meanDropInterval < ps.params.Period && overRate {
+				ps.attack = true
+			} else if !overRate {
+				ps.attack = false
+			}
+		} else if ps.lambda <= alloc {
+			ps.attack = false
+		}
+		for _, m := range ps.members {
+			m.attack = ps.attack
+		}
+
+		ps.arrivedTokens = 0
+		ps.drops = 0
+	}
+
+	// Q_max = Q_min + sum over paths of sqrt(n_i) * W_i (Section V-A),
+	// clamped to the physical buffer.
+	qmax := r.qmin + sumBurst
+	if qmax > float64(r.cfg.Capacity) {
+		qmax = float64(r.cfg.Capacity)
+	}
+	if qmax < r.qmin+4 {
+		qmax = r.qmin + 4
+	}
+	r.qmax = qmax
+}
+
+// estimateFlowCount implements the scalable flow counter of Section V-B.1:
+// infer the steady-state peak window from the observed drop ratio, then
+// n = 4*C*RTT/(3*W).
+func (r *Router) estimateFlowCount(ps *pathState, alloc, interval float64) int {
+	arrivals := ps.arrivedTokens
+	if arrivals <= 0 || ps.drops == 0 {
+		return ps.flowCount() // no signal this interval; keep exact count
+	}
+	gamma := float64(ps.drops) / arrivals
+	w := tcpmodel.WindowFromDropRatio(gamma)
+	if math.IsInf(w, 1) {
+		return ps.flowCount()
+	}
+	n := tcpmodel.EstimateFlows(alloc, r.rttOf(ps), w)
+	if n < 1 {
+		return 1
+	}
+	return int(n + 0.5)
+}
+
+// PathInfo is the externally visible state of one origin path identifier.
+type PathInfo struct {
+	// Key is the path identifier key.
+	Key string
+	// Conformance is E_Ri in [0, 1].
+	Conformance float64
+	// Attack reports the path's attack-path flag (inherited from its
+	// aggregate when aggregated).
+	Attack bool
+	// Aggregated reports whether the path has been merged into an
+	// aggregate identifier.
+	Aggregated bool
+	// AggregateKey names the aggregate (empty if not aggregated).
+	AggregateKey string
+	// Flows is the number of live flows.
+	Flows int
+	// AttackFlows is the number of flows flagged as attack flows.
+	AttackFlows int
+	// AllocPackets is the guaranteed bandwidth in packets/second of the
+	// path's effective identifier.
+	AllocPackets float64
+	// Period and Bucket are the token-bucket parameters of the effective
+	// identifier.
+	Period, Bucket float64
+	// RTT is the path's raw measured RTT estimate.
+	RTT float64
+}
+
+// PathInfos returns per-origin-path state, sorted by key.
+func (r *Router) PathInfos() []PathInfo {
+	keys := make([]string, 0, len(r.origins))
+	for k := range r.origins {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]PathInfo, 0, len(keys))
+	for _, k := range keys {
+		ps := r.origins[k]
+		eff := ps.effective()
+		info := PathInfo{
+			Key:          ps.key,
+			Conformance:  ps.conformance,
+			Attack:       ps.attack,
+			Aggregated:   ps.aggregate != nil,
+			Flows:        len(ps.flows),
+			AttackFlows:  ps.attackFlows,
+			AllocPackets: eff.alloc,
+			Period:       eff.params.Period,
+			Bucket:       eff.params.Bucket,
+		}
+		if ps.aggregate != nil {
+			info.AggregateKey = ps.aggregate.key
+		}
+		if ps.rtt.Initialized() {
+			info.RTT = ps.rtt.Value()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// planSignature canonicalizes an aggregation plan for change detection.
+func planSignature(plan map[string][]*pathState) string {
+	keys := make([]string, 0, len(plan))
+	for k := range plan {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		members := plan[k]
+		names := make([]string, len(members))
+		for i, m := range members {
+			names[i] = m.key
+		}
+		sort.Strings(names)
+		b.WriteString(strings.Join(names, ","))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// newEWMA is a tiny helper so aggregate states get a fresh RTT estimator.
+func newEWMA() *stats.EWMA { return stats.NewEWMA(0.3) }
+
+// DistinctDroppedFlows returns how many distinct flows of a path have a
+// live drop record, and the flow count the TCP model implies for the
+// path's allocation and drop ratio (Section V-B.1). A distinct-dropped
+// count far below the model's estimate indicates attack flows are
+// absorbing drops that, under all-TCP traffic, would spread one per flow
+// per congestion epoch ("If the number of distinct flows that have packet
+// drops is less than the computed number of flows, there certainly exist
+// attack flows").
+func (r *Router) DistinctDroppedFlows(pathKey string, now float64) (distinct int, modelEstimate float64) {
+	ps := r.origins[pathKey]
+	if ps == nil {
+		return 0, 0
+	}
+	eff := ps.effective()
+	for _, fs := range ps.flows {
+		st := r.filter.Query(fs.hash, now, r.epoch(eff), r.filterK(eff))
+		if st.TS > 0 || st.D > 0 {
+			distinct++
+		}
+	}
+	w := eff.params.Window
+	if w <= 0 {
+		return distinct, 0
+	}
+	return distinct, tcpmodel.EstimateFlows(eff.alloc, r.rttOf(eff), w)
+}

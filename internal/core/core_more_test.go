@@ -1,0 +1,483 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"floc/internal/netsim"
+	"floc/internal/pathid"
+)
+
+// TestEstimateFlowsModeRoughlyTracks exercises the scalable flow-count
+// estimator of Section V-B.1 (EstimateFlows): under a steady load whose
+// drop ratio matches the TCP model, the estimated count should be within
+// a small factor of the exact per-flow tracking.
+func TestEstimateFlowsModeRoughlyTracks(t *testing.T) {
+	exact := newTestRouter(t, nil)
+	est := newTestRouter(t, func(c *Config) { c.EstimateFlows = true })
+	path := pathid.New(7, 1)
+	for _, r := range []*Router{exact, est} {
+		d := &driver{r: r}
+		for i := 0; i < 4000; i++ {
+			var pkts []*netsim.Packet
+			// 4 flows, 300 pkt/s each: path over-subscribes its 500
+			// alloc so drops occur and the estimator has signal.
+			for f := 0; f < 4; f++ {
+				if i%2 == 0 {
+					pkts = append(pkts, mkpkt(uint32(10+f), 2, 1000, path))
+				}
+				pkts = append(pkts, mkpkt(uint32(10+f), 2, 1000, path))
+			}
+			d.step(0.005, pkts, 5)
+		}
+	}
+	// Both routers must at least have produced sane token parameters.
+	for name, r := range map[string]*Router{"exact": exact, "estimate": est} {
+		infos := r.PathInfos()
+		if len(infos) != 1 {
+			t.Fatalf("%s: paths = %d", name, len(infos))
+		}
+		if infos[0].Period <= 0 || infos[0].Bucket <= 0 {
+			t.Fatalf("%s: degenerate params %+v", name, infos[0])
+		}
+	}
+}
+
+// TestProbabilisticUpdateStillSeparates verifies the sampled filter
+// updates of Section V-B.4 preserve attack identification.
+func TestProbabilisticUpdateStillSeparates(t *testing.T) {
+	r := newTestRouter(t, func(c *Config) { c.ProbabilisticUpdate = true })
+	d := &driver{r: r}
+	path := pathid.New(7, 1)
+	other := pathid.New(8, 1)
+	for i := 0; i < 4000; i++ {
+		var pkts []*netsim.Packet
+		for j := 0; j < 16; j++ {
+			pkts = append(pkts, mkpkt(1, 2, 1000, path))
+		}
+		pkts = append(pkts, mkpkt(3, 2, 1000, other))
+		d.step(0.005, pkts, 10)
+	}
+	var info *PathInfo
+	for i := range r.PathInfos() {
+		p := r.PathInfos()[i]
+		if p.Key == path.Key() {
+			info = &p
+		}
+	}
+	if info == nil || !info.Attack {
+		t.Fatalf("attack path not flagged under probabilistic updates: %+v", info)
+	}
+	if info.AttackFlows == 0 {
+		t.Fatal("hog flow not identified under probabilistic updates")
+	}
+}
+
+// TestFilterKMode checks that restricting attack-path flows to k filter
+// arrays (Section V-B.5) keeps identification working.
+func TestFilterKMode(t *testing.T) {
+	r := newTestRouter(t, func(c *Config) { c.FilterK = 2 })
+	d := &driver{r: r}
+	path := pathid.New(7, 1)
+	for i := 0; i < 4000; i++ {
+		var pkts []*netsim.Packet
+		for j := 0; j < 16; j++ {
+			pkts = append(pkts, mkpkt(1, 2, 1000, path))
+		}
+		d.step(0.005, pkts, 10)
+	}
+	infos := r.PathInfos()
+	if len(infos) != 1 || !infos[0].Attack {
+		t.Fatalf("attack path not flagged with FilterK=2: %+v", infos)
+	}
+}
+
+// TestPacketConservation: every enqueued packet is either admitted (and
+// eventually dequeued) or counted in exactly one drop bucket.
+func TestPacketConservation(t *testing.T) {
+	r := newTestRouter(t, nil)
+	d := &driver{r: r}
+	path := pathid.New(7, 1)
+	sent := 0
+	dequeued := 0
+	for i := 0; i < 3000; i++ {
+		var pkts []*netsim.Packet
+		for j := 0; j < 8; j++ {
+			pkts = append(pkts, mkpkt(uint32(j%3), 2, 1000, path))
+			sent++
+		}
+		d.now += 0.005
+		for _, pkt := range pkts {
+			d.r.Enqueue(pkt, d.now)
+		}
+		for j := 0; j < 5; j++ {
+			if d.r.Dequeue(d.now) != nil {
+				dequeued++
+			}
+		}
+	}
+	// Drain the queue.
+	for d.r.Dequeue(d.now) != nil {
+		dequeued++
+	}
+	if got := int64(dequeued) + r.TotalDrops(); got != int64(sent) {
+		t.Fatalf("conservation: sent %d, dequeued+dropped %d", sent, got)
+	}
+	if int64(dequeued) != r.Admitted() {
+		t.Fatalf("admitted %d != dequeued %d", r.Admitted(), dequeued)
+	}
+}
+
+// TestAggregatesStableAcrossControls: once formed, an unchanged attack
+// population keeps the same aggregate (no plan churn).
+func TestAggregatesStableAcrossControls(t *testing.T) {
+	r := newTestRouter(t, func(c *Config) { c.SMax = 4 })
+	d := &driver{r: r}
+	legit := []pathid.PathID{pathid.New(11, 1), pathid.New(12, 1), pathid.New(13, 1)}
+	attack := []pathid.PathID{pathid.New(31, 20, 3), pathid.New(32, 20, 3), pathid.New(33, 20, 3)}
+	var lastAggs string
+	stableSince := -1
+	for i := 0; i < 8000; i++ {
+		var pkts []*netsim.Packet
+		for j, p := range legit {
+			if i%10 == 0 {
+				pkts = append(pkts, mkpkt(uint32(100+j), 2, 1000, p))
+			}
+		}
+		for j, p := range attack {
+			for k := 0; k < 4; k++ {
+				pkts = append(pkts, mkpkt(uint32(200+j), 2, 1000, p))
+			}
+		}
+		d.step(0.005, pkts, 5)
+		if i%200 == 0 && i > 4000 {
+			sig := ""
+			for k, members := range r.Aggregates() {
+				sig += k + ":"
+				for _, m := range members {
+					sig += m + ","
+				}
+			}
+			if sig != lastAggs {
+				lastAggs = sig
+				stableSince = i
+			}
+		}
+	}
+	if lastAggs == "" {
+		t.Fatal("no aggregates formed")
+	}
+	if stableSince > 6000 {
+		t.Fatalf("aggregation plan still churning at step %d", stableSince)
+	}
+}
+
+// TestCovertSlotsAcrossPaths: n_max collapses per (source, slot) even
+// when destinations differ, but distinct sources never share accounting
+// identities.
+func TestCovertSlotsAcrossPaths(t *testing.T) {
+	r := newTestRouter(t, func(c *Config) { c.NMax = 2 })
+	d := &driver{r: r}
+	path := pathid.New(7, 1)
+	for i := 0; i < 500; i++ {
+		var pkts []*netsim.Packet
+		for src := uint32(1); src <= 3; src++ {
+			for dst := uint32(50); dst < 60; dst++ {
+				pkts = append(pkts, mkpkt(src, dst, 1000, path))
+			}
+		}
+		d.step(0.01, pkts, 20)
+	}
+	infos := r.PathInfos()
+	if len(infos) != 1 {
+		t.Fatalf("paths = %d", len(infos))
+	}
+	// 3 sources x at most 2 slots each.
+	if infos[0].Flows > 6 {
+		t.Fatalf("accounting flows = %d, want <= 6", infos[0].Flows)
+	}
+	if infos[0].Flows < 3 {
+		t.Fatalf("accounting flows = %d: sources collapsed together", infos[0].Flows)
+	}
+}
+
+// TestSYNPacketsNotPreferentiallyDropped: connection attempts must pass
+// even on attack paths (otherwise misidentified flows could never
+// reconnect).
+func TestSYNPacketsNotPreferentiallyDropped(t *testing.T) {
+	r := newTestRouter(t, nil)
+	d := &driver{r: r}
+	path := pathid.New(7, 1)
+	// Flood to flag the path.
+	for i := 0; i < 2000; i++ {
+		var pkts []*netsim.Packet
+		for j := 0; j < 16; j++ {
+			pkts = append(pkts, mkpkt(1, 2, 1000, path))
+		}
+		d.step(0.005, pkts, 10)
+	}
+	// Now a fresh SYN on the attack path at an uncongested moment.
+	for d.r.Dequeue(d.now) != nil {
+	}
+	syn := &netsim.Packet{Src: 9, Dst: 2, Size: 40, Kind: netsim.KindSYN, Path: path}
+	d.now += 0.001
+	if !r.Enqueue(syn, d.now) {
+		t.Fatal("SYN dropped on idle queue")
+	}
+}
+
+// TestRouterManyPathsScale is a smoke test that per-path state stays
+// bounded with hundreds of paths.
+func TestRouterManyPathsScale(t *testing.T) {
+	r := newTestRouter(t, nil)
+	d := &driver{r: r}
+	for i := 0; i < 300; i++ {
+		var pkts []*netsim.Packet
+		for p := 0; p < 200; p++ {
+			path := pathid.New(pathid.ASN(1000+p), pathid.ASN(p%10), 1)
+			pkts = append(pkts, mkpkt(uint32(p), 2, 1000, path))
+		}
+		d.step(0.02, pkts, 130)
+	}
+	if got := len(r.PathInfos()); got != 200 {
+		t.Fatalf("paths = %d, want 200", got)
+	}
+	if r.GuaranteedPathCount() != 200 {
+		t.Fatalf("guaranteed = %d", r.GuaranteedPathCount())
+	}
+}
+
+func TestDistinctDroppedFlows(t *testing.T) {
+	r := newTestRouter(t, nil)
+	d := &driver{r: r}
+	path := pathid.New(7, 1)
+	// One hog (absorbing drops) plus idle-ish legit flows: the distinct
+	// dropped-flow count should stay near 1 while the model, fed the
+	// path's allocation and window, expects more.
+	for i := 0; i < 3000; i++ {
+		var pkts []*netsim.Packet
+		for j := 0; j < 12; j++ {
+			pkts = append(pkts, mkpkt(1, 2, 1000, path))
+		}
+		if i%20 == 0 {
+			pkts = append(pkts, mkpkt(2, 2, 1000, path), mkpkt(3, 2, 1000, path))
+		}
+		d.step(0.005, pkts, 8)
+	}
+	distinct, est := r.DistinctDroppedFlows(path.Key(), d.now)
+	if distinct < 1 {
+		t.Fatal("hog has no drop record")
+	}
+	if est <= 0 {
+		t.Fatalf("model estimate = %v", est)
+	}
+	if distinct > 2 {
+		t.Fatalf("distinct dropped flows = %d, want the hog (plus at most one)", distinct)
+	}
+	// Unknown path.
+	if got, _ := r.DistinctDroppedFlows("nope", d.now); got != 0 {
+		t.Fatalf("unknown path distinct = %d", got)
+	}
+}
+
+func TestSnapshotReport(t *testing.T) {
+	r := newTestRouter(t, nil)
+	d := &driver{r: r}
+	hog := pathid.New(7, 1)
+	legit := pathid.New(8, 1)
+	for i := 0; i < 2000; i++ {
+		var pkts []*netsim.Packet
+		for j := 0; j < 16; j++ {
+			pkts = append(pkts, mkpkt(1, 2, 1000, hog))
+		}
+		pkts = append(pkts, mkpkt(2, 2, 1000, legit))
+		d.step(0.005, pkts, 10)
+	}
+	snap := r.Snapshot()
+	if snap.GuaranteedPaths != 2 || len(snap.Paths) != 2 {
+		t.Fatalf("snapshot paths: %d / %d", snap.GuaranteedPaths, len(snap.Paths))
+	}
+	if snap.Admitted == 0 {
+		t.Fatal("no admissions recorded")
+	}
+	total := int64(0)
+	for _, v := range snap.Drops {
+		total += v
+	}
+	if total != r.TotalDrops() {
+		t.Fatalf("snapshot drops %d != %d", total, r.TotalDrops())
+	}
+	if snap.FilterMemoryBytes == 0 || snap.ControlRuns == 0 {
+		t.Fatal("filter/control fields empty")
+	}
+	out := snap.String()
+	for _, want := range []string{"FLoc router:", "7-1", "8-1", "preferential", "[A]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRouterNeverPanicsOnArbitraryStreams is a property-style robustness
+// test: random packet streams (random sources, destinations, sizes,
+// kinds, paths, times) must never panic the router and must preserve
+// packet conservation.
+func TestRouterNeverPanicsOnArbitraryStreams(t *testing.T) {
+	f := func(ops []struct {
+		Src, Dst uint16
+		Size     uint16
+		Kind     uint8
+		PathA    uint8
+		PathB    uint8
+		Dt       uint16
+	}) bool {
+		r := newTestRouter(t, nil)
+		now := 0.0
+		sent, dequeued := 0, 0
+		for _, op := range ops {
+			now += float64(op.Dt) / 1e4
+			pkt := &netsim.Packet{
+				Src:  uint32(op.Src),
+				Dst:  uint32(op.Dst),
+				Size: int(op.Size%1500) + 40,
+				Kind: netsim.PacketKind(op.Kind%5 + 1),
+				Path: pathid.New(pathid.ASN(op.PathA%8)+1, pathid.ASN(op.PathB%4)+1),
+			}
+			r.Enqueue(pkt, now)
+			sent++
+			if op.Dt%3 == 0 {
+				if r.Dequeue(now) != nil {
+					dequeued++
+				}
+			}
+		}
+		for r.Dequeue(now) != nil {
+			dequeued++
+		}
+		return int64(dequeued)+r.TotalDrops() == int64(sent) &&
+			int64(dequeued) == r.Admitted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropReasonNamesComplete(t *testing.T) {
+	for r := DropReason(0); r < numDropReasons; r++ {
+		if dropReasonNames[r] == "" {
+			t.Fatalf("drop reason %d has no name", r)
+		}
+	}
+	if len(dropReasonNames) != int(numDropReasons) {
+		t.Fatalf("dropReasonNames has %d entries, want %d", len(dropReasonNames), numDropReasons)
+	}
+}
+
+func TestLargePacketsNotStarvedByTinyBuckets(t *testing.T) {
+	// Many flows shrink a path's per-period bucket below the cost of a
+	// full 1500-byte packet (1.5 tokens); the bucket must stretch its
+	// period instead of permanently rejecting such packets.
+	r := newTestRouter(t, nil)
+	d := &driver{r: r}
+	path := pathid.New(7, 1)
+	other := pathid.New(8, 1)
+	admitted1500 := 0
+	for i := 0; i < 6000; i++ {
+		var pkts []*netsim.Packet
+		// 30 flows of 1500-byte packets on one path, plus background
+		// load keeping the router congested.
+		for f := 0; f < 30; f++ {
+			if i%10 == f%10 {
+				pkts = append(pkts, mkpkt(uint32(100+f), 2, 1500, path))
+			}
+		}
+		for j := 0; j < 8; j++ {
+			pkts = append(pkts, mkpkt(1, 2, 1000, other))
+		}
+		d.now += 0.005
+		for _, pkt := range pkts {
+			if d.r.Enqueue(pkt, d.now) && pkt.Size == 1500 {
+				admitted1500++
+			}
+		}
+		for j := 0; j < 7; j++ {
+			d.r.Dequeue(d.now)
+		}
+	}
+	if admitted1500 < 500 {
+		t.Fatalf("1500-byte packets starved: %d admitted", admitted1500)
+	}
+}
+
+func TestNormalizeBucket(t *testing.T) {
+	p, sz := normalizeBucket(0.01, 0.5)
+	if sz != 2 || p != 0.04 {
+		t.Fatalf("normalizeBucket(0.01, 0.5) = (%v, %v)", p, sz)
+	}
+	// Rate preserved.
+	if got := sz / p; got != 0.5/0.01 {
+		t.Fatalf("rate changed: %v", got)
+	}
+	p, sz = normalizeBucket(0.01, 10)
+	if sz != 10 || p != 0.01 {
+		t.Fatal("large buckets must pass through")
+	}
+}
+
+// TestTwoRoutersInSeries drives two FLoc routers back to back (the
+// paper's model assumes one common bottleneck; a deployment will have
+// several). The serial composition must stay live — no deadlock, no
+// total starvation of the conforming path at either hop — and the
+// flooding path must end up confined at least as tightly as the tighter
+// of the two routers would confine it alone.
+func TestTwoRoutersInSeries(t *testing.T) {
+	a := newTestRouter(t, nil) // 1000 pkt/s service each
+	b := newTestRouter(t, nil)
+	hog := pathid.New(7, 1)
+	legit := pathid.New(8, 1)
+	now := 0.0
+	admHog, admLegit := 0, 0
+	for i := 0; i < 6000; i++ {
+		now += 0.005
+		var pkts []*netsim.Packet
+		for j := 0; j < 8; j++ {
+			pkts = append(pkts, mkpkt(1, 2, 1000, hog)) // 1600 pkt/s
+		}
+		pkts = append(pkts, mkpkt(2, 2, 1000, legit), mkpkt(2, 2, 1000, legit)) // 400 pkt/s
+		for _, pkt := range pkts {
+			a.Enqueue(pkt, now)
+		}
+		// Router A services 5 packets per step into router B.
+		for j := 0; j < 5; j++ {
+			pkt := a.Dequeue(now)
+			if pkt == nil {
+				break
+			}
+			b.Enqueue(pkt, now)
+		}
+		// Router B services 5 packets per step to the destination.
+		for j := 0; j < 5; j++ {
+			pkt := b.Dequeue(now)
+			if pkt == nil {
+				break
+			}
+			if now > 10 {
+				if pkt.Src == 1 {
+					admHog++
+				} else {
+					admLegit++
+				}
+			}
+		}
+	}
+	window := now - 10
+	hogRate := float64(admHog) / window
+	legitRate := float64(admLegit) / window
+	if legitRate < 250 {
+		t.Fatalf("legit path starved through serial routers: %v pkt/s of 400 offered", legitRate)
+	}
+	if hogRate > 700 {
+		t.Fatalf("hog not confined through serial routers: %v pkt/s", hogRate)
+	}
+}

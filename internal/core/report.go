@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a point-in-time view of the router's complete externally
+// relevant state, for debugging, experiment post-mortems, and operator
+// tooling.
+type Snapshot struct {
+	// Mode is the current queue mode.
+	Mode Mode
+	// QueueLen, QMin and QMax describe the buffer state.
+	QueueLen   int
+	QMin, QMax float64
+	// GuaranteedPaths is the number of bandwidth-guaranteed identifiers.
+	GuaranteedPaths int
+	// Paths is the per-origin-path state.
+	Paths []PathInfo
+	// Aggregates maps aggregate keys to member path keys.
+	Aggregates map[string][]string
+	// Admitted and Drops summarize lifetime counters.
+	Admitted int64
+	Drops    map[string]int64
+	// FilterLive is the number of live drop records.
+	FilterLive int
+	// FilterMemoryBytes is the drop filter's memory footprint.
+	FilterMemoryBytes int
+	// ControlRuns counts control-loop executions.
+	ControlRuns int
+}
+
+// dropReasonNames maps reasons to stable labels.
+var dropReasonNames = map[DropReason]string{
+	DropNoToken:         "no-token",
+	DropRandomThreshold: "random-threshold",
+	DropPreferential:    "preferential",
+	DropBlocked:         "blocked",
+	DropOverflow:        "overflow",
+}
+
+// Snapshot captures the router's current state.
+func (r *Router) Snapshot() Snapshot {
+	drops := make(map[string]int64, int(numDropReasons))
+	for reason, name := range dropReasonNames {
+		drops[name] = r.dropCounts[reason]
+	}
+	return Snapshot{
+		Mode:              r.Mode(),
+		QueueLen:          r.fifo.Len(),
+		QMin:              r.qmin,
+		QMax:              r.qmax,
+		GuaranteedPaths:   r.GuaranteedPathCount(),
+		Paths:             r.PathInfos(),
+		Aggregates:        r.Aggregates(),
+		Admitted:          r.admitted,
+		Drops:             drops,
+		FilterLive:        r.filter.Live(),
+		FilterMemoryBytes: r.filter.MemoryBytes(),
+		ControlRuns:       r.controlRuns,
+	}
+}
+
+// String renders the snapshot as a human-readable report.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FLoc router: mode=%s queue=%d (Qmin=%.0f Qmax=%.0f) paths=%d admitted=%d\n",
+		s.Mode, s.QueueLen, s.QMin, s.QMax, s.GuaranteedPaths, s.Admitted)
+	names := make([]string, 0, len(s.Drops))
+	for name := range s.Drops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b.WriteString("drops:")
+	for _, name := range names {
+		fmt.Fprintf(&b, " %s=%d", name, s.Drops[name])
+	}
+	fmt.Fprintf(&b, "\nfilter: live=%d mem=%dB control-runs=%d\n",
+		s.FilterLive, s.FilterMemoryBytes, s.ControlRuns)
+	for _, p := range s.Paths {
+		flag := " "
+		if p.Attack {
+			flag = "A"
+		}
+		agg := ""
+		if p.Aggregated {
+			agg = " -> " + p.AggregateKey
+		}
+		fmt.Fprintf(&b, "  [%s] %-12s E=%.2f flows=%d(%d atk) alloc=%.0fpkt/s T=%.1fms rtt=%.0fms%s\n",
+			flag, p.Key, p.Conformance, p.Flows, p.AttackFlows,
+			p.AllocPackets, p.Period*1000, p.RTT*1000, agg)
+	}
+	for key, members := range s.Aggregates {
+		fmt.Fprintf(&b, "  aggregate %s: %s\n", key, strings.Join(members, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,590 @@
+package core
+
+import (
+	"math"
+
+	"floc/internal/capability"
+	"floc/internal/dropfilter"
+	"floc/internal/netsim"
+	"floc/internal/pathid"
+	"floc/internal/rng"
+	"floc/internal/stats"
+	"floc/internal/tcpmodel"
+	"floc/internal/tokenbucket"
+)
+
+// Mode is the router's queue operating mode (paper Section V-A).
+type Mode uint8
+
+// Queue modes.
+const (
+	// ModeUncongested: Q_curr <= Q_min; all packets serviced.
+	ModeUncongested Mode = iota + 1
+	// ModeCongested: Q_min < Q_curr <= Q_max; token buckets with burst
+	// size N' and neutral random-threshold drops.
+	ModeCongested
+	// ModeFlooding: Q_curr > Q_max; strict token buckets with size N.
+	ModeFlooding
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeUncongested:
+		return "uncongested"
+	case ModeCongested:
+		return "congested"
+	case ModeFlooding:
+		return "flooding"
+	default:
+		return "unknown"
+	}
+}
+
+// DropReason classifies router drops, for instrumentation.
+type DropReason uint8
+
+// Drop reasons.
+const (
+	// DropNoToken: token bucket empty in flooding mode.
+	DropNoToken DropReason = iota
+	// DropRandomThreshold: congested-mode neutral random drop.
+	DropRandomThreshold
+	// DropPreferential: attack-flow preferential drop (Eq. IV.5 / V.1).
+	DropPreferential
+	// DropBlocked: flow exceeded BlockExcess and is blocked outright.
+	DropBlocked
+	// DropOverflow: physical buffer full.
+	DropOverflow
+	numDropReasons
+)
+
+// flowKey is a flow's accounting identity: with NMax > 0 the id is the
+// capability fan-out slot (covert flows collapse), otherwise the
+// destination address.
+type flowKey struct {
+	src uint32
+	id  uint32
+}
+
+// flowState is the per-active-flow record of the (non-scalable) exact
+// tracking mode.
+type flowState struct {
+	lastSeen     float64
+	synAt        float64
+	awaitingData bool
+	hash         uint64
+
+	// admitted and arrived count tokens admitted/offered this control
+	// interval; admittedRate and arrivedRate are the smoothed rates
+	// (tokens/second). The arrival rate upper-bounds attack-path flows at
+	// their fair share (Eq. IV.5's stated aim) and classifies attack
+	// flows for the conformance measure.
+	admitted     float64
+	arrived      float64
+	admittedRate float64
+	arrivedRate  float64
+
+	// escalation grows while the flow keeps offering more than its fair
+	// share interval after interval — the paper's "aggressively
+	// penalizes the flows whose MTDs keep decreasing (i.e., flows that
+	// do not respond to packet drops)" — and decays once the flow
+	// responds. Effective fair share = fair / escalation.
+	escalation float64
+}
+
+// offeredRate returns the flow's best current estimate of its send rate
+// in tokens/second.
+func (fs *flowState) offeredRate(controlInterval float64) float64 {
+	rate := fs.arrivedRate
+	if cur := fs.arrived / controlInterval; cur > rate {
+		rate = cur
+	}
+	return rate
+}
+
+// pathState holds everything the router knows about one path identifier —
+// an origin (leaf) path, or an aggregate created by path aggregation.
+type pathState struct {
+	key  string
+	id   pathid.PathID
+	leaf *pathid.Node
+
+	// members is non-nil for aggregates: the origin paths merged into it.
+	members []*pathState
+	// aggregate is non-nil on an origin path that has been aggregated.
+	aggregate *pathState
+	// shares is the number of equal bandwidth shares allocated (1 for
+	// origin paths and attack aggregates; len(members) for legitimate
+	// aggregates).
+	shares int
+
+	bucket      *tokenbucket.Bucket
+	params      tcpmodel.Params
+	bucketFlood bool // bucket currently sized N (flooding) vs N' (congested)
+	alloc       float64
+
+	rtt         *stats.EWMA
+	conformance float64
+	attack      bool
+
+	flows       map[flowKey]*flowState
+	attackFlows int
+
+	// Interval measurement (reset each control tick).
+	arrivedTokens float64
+	drops         int
+	lambda        float64 // smoothed request rate, tokens/second
+
+	createdAt float64
+}
+
+// effective returns the path identifier that owns this path's bucket.
+func (p *pathState) effective() *pathState {
+	if p.aggregate != nil {
+		return p.aggregate
+	}
+	return p
+}
+
+// flowCount returns the number of live flows (aggregates sum members).
+func (p *pathState) flowCount() int {
+	if p.members == nil {
+		return len(p.flows)
+	}
+	n := 0
+	for _, m := range p.members {
+		n += len(m.flows)
+	}
+	return n
+}
+
+// Router is the FLoc router subsystem, attached to the flooded link as its
+// queue discipline. Like the simulator it plugs into, it is
+// single-threaded: not safe for concurrent use.
+type Router struct {
+	cfg Config
+	rng *rng.Source
+
+	fifo *netsim.FIFO
+	qmin float64
+	qmax float64
+
+	tree    *pathid.Tree
+	origins map[string]*pathState // by PathID key, origin paths only
+	aggs    map[string]*pathState // by aggregate key
+
+	filter *dropfilter.Filter
+	issuer *capability.Issuer
+	acct   *capability.Accountant
+	slots  map[netsim.FlowID]uint32 // capability slot cache
+
+	lastControl float64
+	controlRuns int
+	planSig     string
+
+	dropCounts [numDropReasons]int64
+	admitted   int64
+	arrived    int64
+	epochFloor float64
+}
+
+var _ netsim.Discipline = (*Router)(nil)
+
+// NewRouter builds a FLoc router from cfg.
+func NewRouter(cfg Config) (*Router, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	filter, err := dropfilter.New(cfg.Filter)
+	if err != nil {
+		return nil, err
+	}
+	var issuer *capability.Issuer
+	var acct *capability.Accountant
+	if cfg.NMax > 0 {
+		issuer, err = capability.NewIssuer(cfg.Secret, cfg.NMax)
+		if err != nil {
+			return nil, err
+		}
+		acct = capability.NewAccountant(cfg.NMax)
+	}
+	qmin := cfg.QMinFrac * float64(cfg.Capacity)
+	return &Router{
+		cfg:        cfg,
+		rng:        rng.New(cfg.Seed),
+		fifo:       netsim.NewFIFO(cfg.Capacity),
+		qmin:       qmin,
+		qmax:       float64(cfg.Capacity),
+		tree:       pathid.NewTree(cfg.RouterAS),
+		origins:    map[string]*pathState{},
+		aggs:       map[string]*pathState{},
+		filter:     filter,
+		issuer:     issuer,
+		acct:       acct,
+		slots:      map[netsim.FlowID]uint32{},
+		epochFloor: 2 * cfg.Filter.TickSeconds,
+	}, nil
+}
+
+// Mode returns the current queue mode.
+func (r *Router) Mode() Mode {
+	q := float64(r.fifo.Len())
+	switch {
+	case q <= r.qmin:
+		return ModeUncongested
+	case q <= r.qmax:
+		return ModeCongested
+	default:
+		return ModeFlooding
+	}
+}
+
+// Drops returns the drop count for a reason.
+func (r *Router) Drops(reason DropReason) int64 {
+	if reason >= numDropReasons {
+		return 0
+	}
+	return r.dropCounts[reason]
+}
+
+// TotalDrops returns all drops.
+func (r *Router) TotalDrops() int64 {
+	var t int64
+	for _, c := range r.dropCounts {
+		t += c
+	}
+	return t
+}
+
+// Admitted returns the number of admitted packets.
+func (r *Router) Admitted() int64 { return r.admitted }
+
+// ControlRuns returns how many control-loop executions have happened.
+func (r *Router) ControlRuns() int { return r.controlRuns }
+
+// acctKey computes a packet's flow accounting identity and hash.
+func (r *Router) acctKey(pkt *netsim.Packet) (flowKey, uint64) {
+	if r.issuer == nil {
+		k := flowKey{src: pkt.Src, id: pkt.Dst}
+		return k, dropfilter.FlowHash(k.src, k.id)
+	}
+	fid := pkt.Flow()
+	slot, ok := r.slots[fid]
+	if !ok {
+		c := r.issuer.Issue(pkt.Src, pkt.Dst, pkt.Path)
+		slot = uint32(c.Slot)
+		r.slots[fid] = slot
+		r.acct.Open(pkt.Src, c)
+	}
+	k := flowKey{src: pkt.Src, id: slot}
+	// Salt the hash so slot ids don't collide with destination addresses.
+	return k, dropfilter.FlowHash(k.src, k.id^0x5a5a5a5a)
+}
+
+// origin returns (creating if necessary) the origin path state for pkt.
+func (r *Router) origin(pkt *netsim.Packet, now float64) *pathState {
+	key := pkt.PathKey
+	if key == "" {
+		key = pkt.Path.Key()
+	}
+	if ps, ok := r.origins[key]; ok {
+		return ps
+	}
+	leaf, err := r.tree.Insert(pkt.Path)
+	if err != nil {
+		// Unmarked packet: account it under a synthetic unknown path.
+		leaf, _ = r.tree.Insert(pathid.New(0))
+		key = pathid.New(0).Key()
+		if ps, ok := r.origins[key]; ok {
+			return ps
+		}
+	}
+	ps := &pathState{
+		key:         key,
+		id:          pkt.Path,
+		leaf:        leaf,
+		shares:      1,
+		rtt:         stats.NewEWMA(0.3),
+		conformance: 1.0,
+		flows:       map[flowKey]*flowState{},
+		createdAt:   now,
+	}
+	leaf.Conformance = 1.0
+	bucket, _ := tokenbucket.New(r.cfg.ControlInterval, math.Max(1, r.cfg.linkRatePackets()*r.cfg.ControlInterval))
+	ps.bucket = bucket
+	ps.params = tcpmodel.Params{Period: r.cfg.ControlInterval, RefMTD: r.cfg.DefaultRTT}
+	r.origins[key] = ps
+	return ps
+}
+
+// Enqueue implements netsim.Discipline: the FLoc packet admission policy.
+func (r *Router) Enqueue(pkt *netsim.Packet, now float64) bool {
+	if now-r.lastControl >= r.cfg.ControlInterval {
+		r.runControl(now)
+	}
+	r.arrived++
+
+	orig := r.origin(pkt, now)
+	eff := orig.effective()
+
+	// Flow accounting and RTT measurement on the origin path.
+	key, hash := r.acctKey(pkt)
+	fs := orig.flows[key]
+	if fs == nil {
+		fs = &flowState{hash: hash}
+		orig.flows[key] = fs
+	}
+	fs.lastSeen = now
+	switch pkt.Kind {
+	case netsim.KindSYN:
+		fs.synAt = now
+		fs.awaitingData = true
+	case netsim.KindData, netsim.KindUDP:
+		if fs.awaitingData {
+			if sample := now - fs.synAt; sample > 0 {
+				orig.rtt.Add(sample)
+			}
+			fs.awaitingData = false
+		}
+	}
+
+	tokens := float64(pkt.Size) / float64(r.cfg.PacketSize)
+	eff.arrivedTokens += tokens
+	if pkt.Kind == netsim.KindData || pkt.Kind == netsim.KindUDP {
+		fs.arrived += tokens
+	}
+
+	qcur := float64(r.fifo.Len())
+
+	// Early congested-mode entry for over-subscribing paths: the
+	// uncongested threshold shrinks by min(1, C/lambda).
+	qminEff := r.qmin
+	if eff.lambda > 0 && eff.alloc > 0 && eff.lambda > eff.alloc {
+		qminEff = r.qmin * (eff.alloc / eff.lambda)
+	}
+
+	if qcur <= qminEff {
+		return r.admit(pkt, orig, eff, fs, tokens, now)
+	}
+
+	flooding := qcur > r.qmax
+	r.sizeBucket(eff, flooding)
+
+	// Preferential filtering of attack flows happens before token
+	// consumption (Eq. IV.5): a preferentially dropped packet must not
+	// waste a token that a legitimate flow of the same path could use.
+	if r.preferentialDrop(pkt, orig, eff, fs, now) {
+		return false
+	}
+
+	if flooding {
+		if !eff.bucket.Take(now, tokens) {
+			r.drop(pkt, orig, eff, fs, now, DropNoToken)
+			return false
+		}
+		return r.admit(pkt, orig, eff, fs, tokens, now)
+	}
+
+	// Congested mode.
+	if eff.bucket.Take(now, tokens) {
+		return r.admit(pkt, orig, eff, fs, tokens, now)
+	}
+	// No token. The neutral random-threshold policy exists to spare
+	// conforming flows unnecessary drops caused by under-estimated
+	// token-bucket parameters (Section V-A). Flows of identified attack
+	// paths that exceed their fair share get strict bucket enforcement
+	// instead ("the activation of the token-bucket mechanism for attack
+	// path identifiers early ... causes them to experience packet drops
+	// before legitimate ones"); conforming flows within attack paths keep
+	// the lenient policy, which is what lets a collapsed legitimate flow
+	// climb back (no collateral damage).
+	if eff.attack && fs.offeredRate(r.cfg.ControlInterval) > r.fairShare(eff) {
+		r.drop(pkt, orig, eff, fs, now, DropNoToken)
+		return false
+	}
+	qth := r.qmin + r.rng.Float64()*(r.qmax-r.qmin)
+	if qcur > qth {
+		r.drop(pkt, orig, eff, fs, now, DropRandomThreshold)
+		return false
+	}
+	return r.admit(pkt, orig, eff, fs, tokens, now)
+}
+
+// sizeBucket switches a path's bucket between N' (congested) and N
+// (flooding) as the router mode changes.
+func (r *Router) sizeBucket(eff *pathState, flooding bool) {
+	if eff.bucketFlood == flooding {
+		return
+	}
+	eff.bucketFlood = flooding
+	size := eff.params.BucketBurst
+	if flooding {
+		size = eff.params.Bucket
+	}
+	if size <= 0 || eff.params.Period <= 0 {
+		return
+	}
+	period, size := normalizeBucket(eff.params.Period, size)
+	_ = eff.bucket.SetParams(period, size)
+}
+
+// minBucketTokens is the smallest usable bucket: it must fit the largest
+// packet (a 1500-byte packet costs 1.5 reference tokens), or that packet
+// could never be admitted under strict token enforcement.
+const minBucketTokens = 2
+
+// normalizeBucket floors the bucket at minBucketTokens while preserving
+// the admitted rate (size/period) by stretching the period with it.
+func normalizeBucket(period, size float64) (float64, float64) {
+	if size >= minBucketTokens {
+		return period, size
+	}
+	scale := minBucketTokens / size
+	return period * scale, minBucketTokens
+}
+
+// preferentialDrop applies the attack-flow preferential drop policy
+// (Eq. IV.5 with the Section V-B drop-record filter). It returns true if
+// the packet was dropped.
+func (r *Router) preferentialDrop(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, now float64) bool {
+	if r.cfg.DisablePreferentialDrop {
+		return false
+	}
+	if !eff.attack || (pkt.Kind != netsim.KindData && pkt.Kind != netsim.KindUDP) {
+		return false
+	}
+	st := r.filter.Query(fs.hash, now, r.epoch(eff), r.filterK(eff))
+	if r.cfg.BlockExcess > 0 && st.Excess() >= r.cfg.BlockExcess {
+		r.drop(pkt, orig, eff, fs, now, DropBlocked)
+		return true
+	}
+	p := st.PrefDropProb()
+	// Fair-share upper bound (Eq. IV.5's aim: "upper bound their
+	// throughput by their fair bandwidth allocation"): a flow of an
+	// attack path whose offered rate exceeds its within-path fair share
+	// is dropped with exactly the probability that pins its admitted
+	// rate there. A responsive flow's rate falls below fair, its penalty
+	// goes to zero, so misidentification never denies service.
+	if fair := r.fairShare(eff); fair > 0 {
+		if rate := fs.offeredRate(r.cfg.ControlInterval); rate > fair {
+			esc := fs.escalation
+			if esc < 1 {
+				esc = 1
+			}
+			if p2 := 1 - fair/(esc*rate); p2 > p {
+				p = p2
+			}
+		}
+	}
+	if p > 0 && r.rng.Float64() < p {
+		r.drop(pkt, orig, eff, fs, now, DropPreferential)
+		return true
+	}
+	return false
+}
+
+// fairShare returns the per-flow fair bandwidth (tokens/second) of a
+// path identifier, floored at one packet per RTT: a responsive flow
+// cannot run below that, so the penalty machinery never demands it.
+func (r *Router) fairShare(eff *pathState) float64 {
+	n := eff.flowCount()
+	if n < 1 {
+		n = 1
+	}
+	fair := eff.alloc / float64(n)
+	if rtt := r.rttOf(eff); rtt > 0 && fair < 1/rtt {
+		fair = 1 / rtt
+	}
+	return fair
+}
+
+// FlowExcess returns the drop filter's excess estimate for a flow, for
+// instrumentation and tests. It uses the flow's accounting identity.
+func (r *Router) FlowExcess(src, dst uint32, path pathid.PathID, now float64) float64 {
+	pkt := &netsim.Packet{Src: src, Dst: dst, Path: path}
+	_, hash := r.acctKey(pkt)
+	orig := r.origins[path.Key()]
+	if orig == nil {
+		return 0
+	}
+	eff := orig.effective()
+	return r.filter.Query(hash, now, r.epoch(eff), r.filterK(eff)).Excess()
+}
+
+// admit puts the packet on the physical queue and meters the flow.
+func (r *Router) admit(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, tokens, now float64) bool {
+	if !r.fifo.Enqueue(pkt, now) {
+		// Physical overflow: the effective path still pays for it.
+		r.drop(pkt, orig, eff, fs, now, DropOverflow)
+		return false
+	}
+	r.admitted++
+	if fs != nil && (pkt.Kind == netsim.KindData || pkt.Kind == netsim.KindUDP) {
+		fs.admitted += tokens
+	}
+	return true
+}
+
+// epoch returns a path's congestion epoch (W/2 * RTT == RefMTD) for the
+// drop filter, floored to the filter tick.
+func (r *Router) epoch(eff *pathState) float64 {
+	e := eff.params.RefMTD
+	if e < r.epochFloor {
+		e = r.epochFloor
+	}
+	return e
+}
+
+// filterK returns the array-selection parameter for a path's flows.
+func (r *Router) filterK(eff *pathState) int {
+	if eff.attack && r.cfg.FilterK > 0 {
+		return r.cfg.FilterK
+	}
+	return 0
+}
+
+// drop records a packet drop against its flow and path. Per Section V-B,
+// only drops on identified attack paths enter the drop-record filter: the
+// filter exists to separate attack from legitimate flows *within* attack
+// paths, and keeping legitimate paths out of it both bounds its size and
+// spares their flows transient mis-measurement during ordinary congestion.
+//
+// Preferential (and block) drops are deliberately NOT recorded. The
+// token-bucket drop process is what makes a flow's drop rate proportional
+// to its send rate (the premise of Eq. IV.4); feeding the preferential
+// drops back into the record would spiral every penalized flow to the
+// filter's saturation point and push its admitted rate far below the fair
+// share, instead of converging at the paper's equilibrium
+// alpha*(1-P_pd) = 1 (admitted == fair share).
+func (r *Router) drop(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, now float64, reason DropReason) {
+	r.dropCounts[reason]++
+	eff.drops++
+	if reason == DropPreferential || reason == DropBlocked {
+		return
+	}
+	if fs == nil || !eff.attack || (pkt.Kind != netsim.KindData && pkt.Kind != netsim.KindUDP) {
+		return
+	}
+	weight := uint32(1)
+	if r.cfg.ProbabilisticUpdate {
+		st := r.filter.Query(fs.hash, now, r.epoch(eff), r.filterK(eff))
+		w := st.D
+		if w > 1 {
+			if w > 16 {
+				w = 16
+			}
+			if r.rng.Float64() >= 1/float64(w) {
+				return // sampled out; expectation preserved via weight
+			}
+			weight = w
+		}
+	}
+	r.filter.RecordDrop(fs.hash, now, r.epoch(eff), r.filterK(eff), weight)
+}
+
+// Dequeue implements netsim.Discipline.
+func (r *Router) Dequeue(now float64) *netsim.Packet { return r.fifo.Dequeue(now) }
+
+// Len implements netsim.Discipline.
+func (r *Router) Len() int { return r.fifo.Len() }

@@ -1,0 +1,89 @@
+package defense
+
+import (
+	"math"
+
+	"floc/internal/netsim"
+)
+
+// Limiter is a rate-limiting queue discipline installed at an *upstream*
+// router by Pushback's propagation protocol: the congested router asks
+// the routers feeding an identified aggregate to drop the aggregate's
+// excess before it ever reaches the congested link. A Limiter with no
+// rate set is transparent.
+type Limiter struct {
+	inner netsim.Discipline
+
+	rateBits   float64 // 0 = unlimited
+	tokens     float64
+	lastRefill float64
+
+	dropped     int
+	offeredBits float64
+}
+
+var _ netsim.Discipline = (*Limiter)(nil)
+
+// NewLimiter wraps inner with an (initially unlimited) rate limiter.
+func NewLimiter(inner netsim.Discipline) *Limiter {
+	return &Limiter{inner: inner}
+}
+
+// SetRateBits installs (or, with 0, removes) a rate limit in bits/second.
+func (l *Limiter) SetRateBits(rate float64) {
+	if rate <= 0 {
+		l.rateBits = 0
+		return
+	}
+	l.rateBits = rate
+	// Grant a 100 ms burst allowance on (re)installation.
+	l.tokens = math.Min(l.tokens, rate*0.1)
+	if l.tokens <= 0 {
+		l.tokens = rate * 0.05
+	}
+}
+
+// RateBits returns the current limit (0 = unlimited).
+func (l *Limiter) RateBits() float64 { return l.rateBits }
+
+// Dropped returns packets dropped by the limiter itself.
+func (l *Limiter) Dropped() int { return l.dropped }
+
+// TakeOfferedBits returns the bits offered to the limiter since the last
+// call and resets the counter — the "status" feedback a pushback
+// upstream router reports to the congested router, which must size and
+// release limits against the aggregate's true demand, not the
+// post-limiting residue it sees locally.
+func (l *Limiter) TakeOfferedBits() float64 {
+	v := l.offeredBits
+	l.offeredBits = 0
+	return v
+}
+
+// Enqueue implements netsim.Discipline.
+func (l *Limiter) Enqueue(pkt *netsim.Packet, now float64) bool {
+	l.offeredBits += float64(pkt.Size * 8)
+	if l.rateBits > 0 {
+		l.tokens += (now - l.lastRefill) * l.rateBits
+		maxTokens := l.rateBits * 0.1
+		if l.tokens > maxTokens {
+			l.tokens = maxTokens
+		}
+		l.lastRefill = now
+		bits := float64(pkt.Size * 8)
+		if l.tokens < bits {
+			l.dropped++
+			return false
+		}
+		l.tokens -= bits
+	} else {
+		l.lastRefill = now
+	}
+	return l.inner.Enqueue(pkt, now)
+}
+
+// Dequeue implements netsim.Discipline.
+func (l *Limiter) Dequeue(now float64) *netsim.Packet { return l.inner.Dequeue(now) }
+
+// Len implements netsim.Discipline.
+func (l *Limiter) Len() int { return l.inner.Len() }

@@ -1,0 +1,215 @@
+package defense
+
+import (
+	"fmt"
+	"math"
+
+	"floc/internal/netsim"
+)
+
+// REDPDConfig configures a RED-PD queue (Mahajan, Floyd & Wetherall:
+// "Controlling High-Bandwidth Flows at the Congested Router").
+type REDPDConfig struct {
+	// RED parameterizes the underlying queue.
+	RED REDConfig
+	// Interval is the drop-history epoch length in seconds.
+	Interval float64
+	// HistoryLen is the number of epochs of drop history kept (paper: ~5).
+	HistoryLen int
+	// IdentifyThreshold is the number of history epochs with drops that
+	// flags a flow as high-bandwidth (paper: majority of the history).
+	IdentifyThreshold int
+	// AssumedRTT is the round-trip time RED-PD assumes when converting
+	// the ambient drop probability into the TCP-friendly target rate
+	// (the published scheme's R(p) = S/(RTT) * sqrt(3/(2p))).
+	AssumedRTT float64
+	// UnmonitorBelow releases a flow whose pre-filter probability decays
+	// under this value.
+	UnmonitorBelow float64
+}
+
+// DefaultREDPDConfig returns the parameterization used in the experiments.
+func DefaultREDPDConfig(capacity int, seed uint64) REDPDConfig {
+	return REDPDConfig{
+		RED:               DefaultREDConfig(capacity, seed),
+		Interval:          0.5,
+		HistoryLen:        5,
+		IdentifyThreshold: 3,
+		AssumedRTT:        0.1,
+		UnmonitorBelow:    0.005,
+	}
+}
+
+// monitored is the per-monitored-flow state.
+type monitored struct {
+	p       float64 // pre-filter drop probability
+	arrived float64 // packets offered this epoch
+	rate    float64 // smoothed offered rate, packets/second
+}
+
+// REDPD is the RED-PD discipline: a RED queue plus a pre-filter that
+// brings identified high-bandwidth flows down to the TCP-friendly target
+// rate implied by the ambient drop probability. It deliberately does
+// *not* push flows below that per-flow fair target — which is exactly
+// why, as the FLoc paper argues, it cannot counter covert attacks that
+// win by flow headcount.
+type REDPD struct {
+	cfg REDPDConfig
+	red *RED
+
+	epochStart float64
+	// history[i] is the per-flow drop counts of epoch i (ring buffer).
+	history []map[netsim.FlowID]int
+	head    int
+	current map[netsim.FlowID]int
+	mon     map[netsim.FlowID]*monitored
+
+	// Epoch-level ambient measurement.
+	epochArrivals int
+	epochDrops    int
+	dropProb      float64 // EWMA of drops/arrivals
+
+	prefilterDrops int
+}
+
+var _ netsim.Discipline = (*REDPD)(nil)
+
+// NewREDPD creates a RED-PD discipline.
+func NewREDPD(cfg REDPDConfig) (*REDPD, error) {
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("defense: RED-PD interval %v <= 0", cfg.Interval)
+	}
+	if cfg.HistoryLen < 1 {
+		return nil, fmt.Errorf("defense: RED-PD history %d < 1", cfg.HistoryLen)
+	}
+	if cfg.IdentifyThreshold < 1 || cfg.IdentifyThreshold > cfg.HistoryLen {
+		return nil, fmt.Errorf("defense: RED-PD identify threshold %d out of [1,%d]",
+			cfg.IdentifyThreshold, cfg.HistoryLen)
+	}
+	if cfg.AssumedRTT <= 0 {
+		return nil, fmt.Errorf("defense: RED-PD assumed RTT %v <= 0", cfg.AssumedRTT)
+	}
+	red, err := NewRED(cfg.RED)
+	if err != nil {
+		return nil, err
+	}
+	history := make([]map[netsim.FlowID]int, cfg.HistoryLen)
+	for i := range history {
+		history[i] = map[netsim.FlowID]int{}
+	}
+	return &REDPD{
+		cfg:     cfg,
+		red:     red,
+		history: history,
+		current: map[netsim.FlowID]int{},
+		mon:     map[netsim.FlowID]*monitored{},
+	}, nil
+}
+
+// Monitored returns the number of currently monitored flows.
+func (r *REDPD) Monitored() int { return len(r.mon) }
+
+// PrefilterDrops returns the number of pre-filter drops so far.
+func (r *REDPD) PrefilterDrops() int { return r.prefilterDrops }
+
+// MonitorProb returns the pre-filter probability for a flow (0 if not
+// monitored), for tests and instrumentation.
+func (r *REDPD) MonitorProb(f netsim.FlowID) float64 {
+	if m, ok := r.mon[f]; ok {
+		return m.p
+	}
+	return 0
+}
+
+// TargetRate returns the current TCP-friendly target rate in packets per
+// second.
+func (r *REDPD) TargetRate() float64 {
+	p := r.dropProb
+	if p < 0.001 {
+		p = 0.001
+	}
+	return 1 / r.cfg.AssumedRTT * math.Sqrt(1.5/p)
+}
+
+// rollEpochs advances the drop-history ring to cover time now.
+func (r *REDPD) rollEpochs(now float64) {
+	for now-r.epochStart >= r.cfg.Interval {
+		r.epochStart += r.cfg.Interval
+		r.head = (r.head + 1) % r.cfg.HistoryLen
+		r.history[r.head] = r.current
+		r.current = map[netsim.FlowID]int{}
+		r.adapt()
+	}
+}
+
+// adapt runs the per-epoch identification and probability adjustment.
+func (r *REDPD) adapt() {
+	// Ambient drop probability.
+	if r.epochArrivals > 0 {
+		sample := float64(r.epochDrops) / float64(r.epochArrivals)
+		r.dropProb = 0.3*sample + 0.7*r.dropProb
+	}
+	r.epochArrivals = 0
+	r.epochDrops = 0
+
+	// Identification: flows with drops in enough recent epochs.
+	epochs := map[netsim.FlowID]int{}
+	for _, h := range r.history {
+		for f := range h {
+			epochs[f]++
+		}
+	}
+	for f, n := range epochs {
+		if n >= r.cfg.IdentifyThreshold {
+			if _, ok := r.mon[f]; !ok {
+				r.mon[f] = &monitored{}
+			}
+		}
+	}
+
+	// Adjustment: pin monitored flows at the TCP-friendly target rate.
+	target := r.TargetRate()
+	for f, m := range r.mon {
+		m.rate = 0.5*(m.arrived/r.cfg.Interval) + 0.5*m.rate
+		m.arrived = 0
+		if m.rate > target && target > 0 {
+			m.p = 1 - target/m.rate
+			if m.p > 0.98 {
+				m.p = 0.98
+			}
+		} else {
+			m.p /= 2
+			if m.p < r.cfg.UnmonitorBelow && epochs[f] < r.cfg.IdentifyThreshold {
+				delete(r.mon, f)
+			}
+		}
+	}
+}
+
+// Enqueue implements netsim.Discipline.
+func (r *REDPD) Enqueue(pkt *netsim.Packet, now float64) bool {
+	r.rollEpochs(now)
+	r.epochArrivals++
+	flow := pkt.Flow()
+	if m, ok := r.mon[flow]; ok {
+		m.arrived++
+		if r.red.rng.Float64() < m.p {
+			r.prefilterDrops++
+			r.current[flow]++
+			r.epochDrops++
+			return false
+		}
+	}
+	if !r.red.Enqueue(pkt, now) {
+		r.current[flow]++
+		r.epochDrops++
+		return false
+	}
+	return true
+}
+
+// Dequeue implements netsim.Discipline.
+func (r *REDPD) Dequeue(now float64) *netsim.Packet { return r.red.Dequeue(now) }
+
+// Len implements netsim.Discipline.
+func (r *REDPD) Len() int { return r.red.Len() }

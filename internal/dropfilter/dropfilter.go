@@ -1,0 +1,352 @@
+// Package dropfilter implements FLoc's scalable attack-flow accounting
+// structure (paper Section V-B): a counting-Bloom-style filter that records
+// only *dropped* packets, so routers can identify and preferentially drop
+// attack flows without keeping per-flow state for the (much larger) set of
+// all flows.
+//
+// Each record holds three fields per the paper:
+//
+//	t_s — the number of congestion epochs since the record was created
+//	      (saturating; "sequence number"),
+//	t_l — the last-update time, quantized to ticks of granularity t_base,
+//	d   — the number of *extra* packet drops beyond the one-per-epoch a
+//	      legitimate TCP flow experiences.
+//
+// A legitimate flow's occasional drop decays away (d decreases by one per
+// elapsed congestion epoch) and the record self-clears; an attack flow's
+// drops accumulate, and d/t_s approximates its excess send-rate factor.
+// The preferential drop ratio of Eq. (V.1) is derived from (t_s, d).
+package dropfilter
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config parameterizes a Filter.
+type Config struct {
+	// Arrays is m, the number of hash arrays (paper example: 4).
+	Arrays int
+	// Bits is b: each array has 2^b record slots (paper example: 24;
+	// simulations default to 16 to keep memory modest).
+	Bits int
+	// TickSeconds is t_base, the time quantization granularity
+	// (paper example: 10 ms).
+	TickSeconds float64
+	// TSMax is the saturation value of t_s (paper: 4 bits -> 15).
+	TSMax uint32
+	// DMax is the saturation value of d. The paper's 2-bits-per-epoch
+	// budget with t_s up to 15 bounds measurable excess at 2^k * t_s;
+	// DMax plays the same role as a single cap.
+	DMax uint32
+}
+
+// DefaultConfig returns the configuration used by the simulations.
+func DefaultConfig() Config {
+	return Config{Arrays: 4, Bits: 16, TickSeconds: 0.01, TSMax: 15, DMax: 63}
+}
+
+// record is one filter slot. A zero record is empty.
+type record struct {
+	ts uint32 // congestion epochs since creation (saturating at TSMax)
+	tl uint32 // last update, in ticks
+	d  uint32 // extra drops (saturating at DMax)
+}
+
+// Filter is the drop-record filter. It is not safe for concurrent use.
+type Filter struct {
+	cfg   Config
+	mask  uint64
+	slots [][]record // [array][slot]
+	live  int        // number of non-empty records (approximate, for stats)
+}
+
+// New creates a Filter. It validates the configuration.
+func New(cfg Config) (*Filter, error) {
+	if cfg.Arrays < 1 {
+		return nil, fmt.Errorf("dropfilter: Arrays %d < 1", cfg.Arrays)
+	}
+	if cfg.Bits < 1 || cfg.Bits > 30 {
+		return nil, fmt.Errorf("dropfilter: Bits %d out of [1,30]", cfg.Bits)
+	}
+	if cfg.TickSeconds <= 0 {
+		return nil, fmt.Errorf("dropfilter: non-positive tick %v", cfg.TickSeconds)
+	}
+	if cfg.TSMax < 1 || cfg.DMax < 1 {
+		return nil, fmt.Errorf("dropfilter: TSMax/DMax must be >= 1")
+	}
+	size := 1 << cfg.Bits
+	slots := make([][]record, cfg.Arrays)
+	for i := range slots {
+		slots[i] = make([]record, size)
+	}
+	return &Filter{cfg: cfg, mask: uint64(size - 1), slots: slots}, nil
+}
+
+// Config returns the filter's configuration.
+func (f *Filter) Config() Config { return f.cfg }
+
+// MemoryBytes returns the memory footprint of the record arrays, for the
+// Section V-B sizing analysis.
+func (f *Filter) MemoryBytes() int {
+	const recordSize = 12 // 3 * uint32
+	return f.cfg.Arrays * (1 << f.cfg.Bits) * recordSize
+}
+
+// Live returns the number of currently non-empty records across all
+// arrays (records that decayed to empty are counted out lazily, so this is
+// an upper bound between operations).
+func (f *Filter) Live() int { return f.live }
+
+// FlowHash hashes a flow identifier (source, destination) to the 64-bit
+// value the filter indexes with (FNV-1a).
+func FlowHash(src, dst uint32) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range [8]byte{
+		byte(src >> 24), byte(src >> 16), byte(src >> 8), byte(src),
+		byte(dst >> 24), byte(dst >> 16), byte(dst >> 8), byte(dst),
+	} {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// slotIndex returns the slot of flow h in array i (double hashing).
+func (f *Filter) slotIndex(h uint64, i int) uint64 {
+	h2 := h>>33 | 1 // odd stride
+	return (h + uint64(i)*h2) & f.mask
+}
+
+// arraysFor returns which arrays a flow touches when restricted to k of m
+// (probabilistic array selection, Section V-B.5). k <= 0 or k >= m means
+// all arrays.
+func (f *Filter) arraysFor(h uint64, k int) []int {
+	m := f.cfg.Arrays
+	if k <= 0 || k >= m {
+		out := make([]int, m)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	start := int((h >> 17) % uint64(m))
+	out := make([]int, k)
+	for j := 0; j < k; j++ {
+		out[j] = (start + j) % m
+	}
+	return out
+}
+
+// ticks quantizes a time in seconds to filter ticks.
+func (f *Filter) ticks(now float64) uint32 {
+	if now <= 0 {
+		return 0
+	}
+	return uint32(now / f.cfg.TickSeconds)
+}
+
+// decay applies the per-epoch aging of Section V-B.2 to a record in place:
+// d decreases by one and t_s increases by one for every congestion epoch
+// elapsed since t_l. If d reaches zero the record clears (a legitimate
+// flow's normal drop is removed from the filter). epochTicks is the path's
+// congestion epoch (W/2 * RTT) in ticks.
+func (f *Filter) decay(r *record, nowTicks, epochTicks uint32) {
+	if r.ts == 0 && r.d == 0 {
+		return // empty
+	}
+	if epochTicks == 0 {
+		epochTicks = 1
+	}
+	if nowTicks <= r.tl {
+		return
+	}
+	epochs := (nowTicks - r.tl) / epochTicks
+	if epochs == 0 {
+		return
+	}
+	if uint32(epochs) >= r.d {
+		// Record fully decayed: clear.
+		if r.ts != 0 || r.d != 0 {
+			f.live--
+		}
+		*r = record{}
+		return
+	}
+	r.d -= epochs
+	ts := r.ts + epochs
+	if ts > f.cfg.TSMax || ts < r.ts {
+		ts = f.cfg.TSMax
+	}
+	r.ts = ts
+	r.tl += epochs * epochTicks
+}
+
+// RecordDrop records one dropped packet of flow h at time now (seconds),
+// where epoch is the flow's path congestion epoch (W/2*RTT) in seconds.
+// k restricts the update to k of the m arrays (<=0 for all). weight is the
+// probabilistic-update weight (Section V-B.4): the caller samples drops
+// with probability 1/weight and passes the weight here so expectations are
+// preserved; use 1 for exact recording.
+func (f *Filter) RecordDrop(h uint64, now, epoch float64, k int, weight uint32) {
+	if weight < 1 {
+		weight = 1
+	}
+	nowTicks := f.ticks(now)
+	epochTicks := f.ticks(epoch)
+	if epochTicks == 0 {
+		epochTicks = 1
+	}
+	for _, i := range f.arraysFor(h, k) {
+		r := &f.slots[i][f.slotIndex(h, i)]
+		f.decay(r, nowTicks, epochTicks)
+		add := weight
+		if r.ts == 0 && r.d == 0 {
+			// Fresh record: created now, first epoch. The creating drop is
+			// the one-per-epoch drop a legitimate flow is entitled to, so
+			// it does not count toward d.
+			r.ts = 1
+			r.tl = nowTicks
+			r.d = 0
+			f.live++
+			add = weight - 1
+		}
+		d := r.d + add
+		if d > f.cfg.DMax || d < r.d {
+			d = f.cfg.DMax
+		}
+		r.d = d
+		r.tl = nowTicks
+	}
+}
+
+// State is a flow's aggregated drop record.
+type State struct {
+	// TS is t_s, congestion epochs since the record was created.
+	TS uint32
+	// D is d, the extra drops beyond one per epoch.
+	D uint32
+}
+
+// Excess returns P_e, the flow's estimated excess send-rate factor
+// (extra drops per congestion epoch).
+func (s State) Excess() float64 {
+	if s.TS == 0 {
+		return 0
+	}
+	return float64(s.D) / float64(s.TS)
+}
+
+// PrefDropProb returns the preferential drop ratio of Eq. (V.1):
+//
+//	P_pd = d / (t_s + d)
+//
+// A flow with no extra drops is never preferentially dropped. For a flow
+// sending alpha times its fair bandwidth, d grows to (alpha-1)*t_s, so
+// P_pd -> 1 - 1/alpha and the flow's serviced rate alpha*(1-P_pd) is
+// pinned at its fair share. This matches both numeric examples in the
+// paper: t_s=16, d=1 gives P_e = 1/16 = 6.25% and P_pd = 1/17 = 5.88%;
+// a 64x flow saturating d at 63 with t_s=1 gives P_pd = 63/64 = 0.984.
+func (s State) PrefDropProb() float64 {
+	if s.D == 0 {
+		return 0
+	}
+	return float64(s.D) / (float64(s.TS) + float64(s.D))
+}
+
+// Query returns the flow's drop state at time now, applying decay
+// read-consistently (without mutating the stored records) and taking the
+// minimum d across the flow's arrays (the counting-Bloom conservative
+// read). k must match the k used for RecordDrop for this flow's path.
+func (f *Filter) Query(h uint64, now, epoch float64, k int) State {
+	nowTicks := f.ticks(now)
+	epochTicks := f.ticks(epoch)
+	if epochTicks == 0 {
+		epochTicks = 1
+	}
+	best := State{TS: math.MaxUint32, D: math.MaxUint32}
+	for _, i := range f.arraysFor(h, k) {
+		r := f.slots[i][f.slotIndex(h, i)] // copy; decay without storing
+		f.decayCopy(&r, nowTicks, epochTicks)
+		if r.ts == 0 && r.d == 0 {
+			return State{} // any empty array proves the flow is clean
+		}
+		if r.d < best.D {
+			best = State{TS: r.ts, D: r.d}
+		}
+	}
+	if best.D == math.MaxUint32 {
+		return State{}
+	}
+	return best
+}
+
+// decayCopy is decay without live-count bookkeeping, for query-time copies.
+func (f *Filter) decayCopy(r *record, nowTicks, epochTicks uint32) {
+	if r.ts == 0 && r.d == 0 {
+		return
+	}
+	if nowTicks <= r.tl {
+		return
+	}
+	epochs := (nowTicks - r.tl) / epochTicks
+	if epochs == 0 {
+		return
+	}
+	if epochs >= r.d {
+		*r = record{}
+		return
+	}
+	r.d -= epochs
+	ts := r.ts + epochs
+	if ts > f.cfg.TSMax || ts < r.ts {
+		ts = f.cfg.TSMax
+	}
+	r.ts = ts
+	r.tl += epochs * epochTicks
+}
+
+// Reset clears all records.
+func (f *Filter) Reset() {
+	for i := range f.slots {
+		for j := range f.slots[i] {
+			f.slots[i][j] = record{}
+		}
+	}
+	f.live = 0
+}
+
+// FalsePositiveRate returns the probability that a clean flow collides
+// with recorded flows in all of the k arrays it reads, with n flows
+// recorded in arrays of 2^bits slots (paper Section V-B.5):
+//
+//	P_fp = (1 - e^(-n/2^bits))^k
+func FalsePositiveRate(n int, bits, k int) float64 {
+	if k < 1 || bits < 1 || n <= 0 {
+		return 0
+	}
+	load := float64(n) / float64(uint64(1)<<bits)
+	return math.Pow(1-math.Exp(-load), float64(k))
+}
+
+// SelectK returns the number of arrays k that flows of attack domains
+// should update so the false-positive rate seen by legitimate flows stays
+// below the rate implied by nThresh recorded flows: it finds the smallest
+// k >= 1 such that the effective load n_legit + n_attack*k/m is <= nThresh,
+// or 1 if even k=1 cannot satisfy it (Section V-B.5).
+func SelectK(nLegit, nAttack, m, nThresh int) int {
+	if m < 1 {
+		return 1
+	}
+	for k := m; k >= 1; k-- {
+		eff := nLegit + nAttack*k/m
+		if eff <= nThresh {
+			return k
+		}
+	}
+	return 1
+}

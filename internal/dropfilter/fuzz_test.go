@@ -1,0 +1,47 @@
+package dropfilter
+
+import "testing"
+
+// FuzzFilterOps drives arbitrary interleavings of RecordDrop and Query
+// and checks the filter's invariants: counters never exceed their
+// saturation bounds and the preferential drop probability is always a
+// probability.
+func FuzzFilterOps(f *testing.F) {
+	f.Add(uint32(1), uint32(2), 1.0, 0.5, 1, uint32(1))
+	f.Add(uint32(7), uint32(9), 100.0, 0.01, 4, uint32(16))
+	f.Add(uint32(0), uint32(0), 0.0, 0.0, 0, uint32(0))
+	cfg := DefaultConfig()
+	cfg.Bits = 8
+	f.Fuzz(func(t *testing.T, src, dst uint32, now, epoch float64, k int, weight uint32) {
+		filter, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if now < 0 {
+			now = -now
+		}
+		if now > 1e9 {
+			now = 1e9
+		}
+		if epoch < 0 {
+			epoch = -epoch
+		}
+		if epoch > 1e6 {
+			epoch = 1e6
+		}
+		h := FlowHash(src, dst)
+		for i := 0; i < 8; i++ {
+			filter.RecordDrop(h, now+float64(i)*epoch/3, epoch, k%8, weight%64)
+			st := filter.Query(h, now+float64(i)*epoch/3, epoch, k%8)
+			if st.D > cfg.DMax || st.TS > cfg.TSMax {
+				t.Fatalf("saturation exceeded: %+v", st)
+			}
+			if p := st.PrefDropProb(); p < 0 || p > 1 {
+				t.Fatalf("invalid probability %v", p)
+			}
+			if e := st.Excess(); e < 0 {
+				t.Fatalf("negative excess %v", e)
+			}
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"floc/internal/inetsim"
+	"floc/internal/topology"
+)
+
+// InetScenario names the defense variants of the paper's Internet-scale
+// figures: no defense, per-flow fairness, and FLoc without aggregation
+// and with |S|max 200 / 100.
+type InetScenario struct {
+	Label   string
+	Defense inetsim.DefenseKind
+	SMax    int
+}
+
+// InetScenarios returns the five variants of Figs. 13-15.
+func InetScenarios() []InetScenario {
+	return []InetScenario{
+		{Label: "ND", Defense: inetsim.NoDefense},
+		{Label: "FF", Defense: inetsim.FairFlow},
+		{Label: "FLoc-NA", Defense: inetsim.FLoc, SMax: 0},
+		{Label: "FLoc-A200", Defense: inetsim.FLoc, SMax: 200},
+		{Label: "FLoc-A100", Defense: inetsim.FLoc, SMax: 100},
+	}
+}
+
+// InetConfig parameterizes the Internet-scale experiments.
+type InetFigConfig struct {
+	// Profiles are the topology flavors to run (paper: f-root, h-root,
+	// jpn).
+	Profiles []topology.Profile
+	// AttackASes is the attacker dispersion (paper: 100 for Fig. 13,
+	// 300 for Fig. 14).
+	AttackASes int
+	// Separated removes legitimate sources from attack ASes (Fig. 15).
+	Separated bool
+	// Scale shrinks source counts and link capacity together (1.0 =
+	// paper scale: 10k legit, 100k bots, 16000 pkts/tick).
+	Scale float64
+	// Ticks and WarmupTicks control the run length; 0 uses defaults.
+	Ticks, WarmupTicks int
+	Seed               uint64
+}
+
+// DefaultInetFigConfig returns the configuration for one of the paper's
+// Internet figures ("fig13", "fig14", "fig15") at the given scale.
+func DefaultInetFigConfig(figure string, scale float64) (InetFigConfig, error) {
+	cfg := InetFigConfig{
+		Profiles: []topology.Profile{topology.FRoot, topology.HRoot, topology.JPN},
+		Scale:    scale,
+		Seed:     42,
+	}
+	switch figure {
+	case "fig13":
+		cfg.AttackASes = 100
+	case "fig14":
+		cfg.AttackASes = 300
+	case "fig15":
+		cfg.AttackASes = 100
+		cfg.Separated = true
+	default:
+		return cfg, fmt.Errorf("experiments: unknown Internet figure %q", figure)
+	}
+	return cfg, nil
+}
+
+// FigInternet runs the Internet-scale comparison: for each topology
+// profile and defense variant, the share of the target link used by
+// legitimate flows of legitimate ASes, legitimate flows of attack ASes,
+// and attack flows (paper Figs. 13, 14, 15).
+func FigInternet(cfg InetFigConfig) (*Table, error) {
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		return nil, fmt.Errorf("experiments: scale %v out of (0,1]", cfg.Scale)
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Internet-scale: attack ASes=%d separated=%v (fractions of link capacity)",
+			cfg.AttackASes, cfg.Separated),
+		Columns: []string{"legit_legitAS", "legit_attackAS", "attack", "guaranteed_paths"},
+	}
+	for _, profile := range cfg.Profiles {
+		tcfg := topology.DefaultInetConfig(profile)
+		tcfg.AttackASes = cfg.AttackASes
+		tcfg.LegitSources = scaleCount(tcfg.LegitSources, cfg.Scale)
+		tcfg.AttackSources = scaleCount(tcfg.AttackSources, cfg.Scale)
+		tcfg.Seed = cfg.Seed
+		if cfg.Separated {
+			tcfg.OverlapFrac = 0
+		}
+		topo, err := topology.GenerateInet(tcfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range InetScenarios() {
+			scfg := inetsim.DefaultConfig(topo, sc.Defense)
+			scfg.SMax = sc.SMax
+			scfg.CapacityPerTick = scaleCount(scfg.CapacityPerTick, cfg.Scale)
+			scfg.Seed = cfg.Seed + 1
+			if cfg.Ticks > 0 {
+				scfg.Ticks = cfg.Ticks
+			}
+			if cfg.WarmupTicks > 0 {
+				scfg.WarmupTicks = cfg.WarmupTicks
+			}
+			sim, err := inetsim.New(scfg)
+			if err != nil {
+				return nil, err
+			}
+			res := sim.Run()
+			t.Rows = append(t.Rows, Row{
+				Label: fmt.Sprintf("%s/%s", profile, sc.Label),
+				Values: []float64{
+					res.Share[inetsim.LegitLegit],
+					res.Share[inetsim.LegitAttack],
+					res.Share[inetsim.Attack],
+					float64(res.GuaranteedPaths),
+				},
+			})
+		}
+	}
+	return t, nil
+}
+
+// FigTopology summarizes the generated topologies (the data behind the
+// paper's Fig. 11/12 renderings).
+func FigTopology(attackASes int, separated bool, seed uint64) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Topology summary: attack ASes=%d separated=%v", attackASes, separated),
+		Columns: []string{"ases", "max_depth", "attack_ases", "legit_ases", "overlap_ases", "mean_attack_depth", "mean_legit_depth", "bots_top5pct_frac"},
+	}
+	for _, profile := range []topology.Profile{topology.FRoot, topology.HRoot, topology.JPN} {
+		cfg := topology.DefaultInetConfig(profile)
+		cfg.AttackASes = attackASes
+		cfg.Seed = seed
+		if separated {
+			cfg.OverlapFrac = 0
+		}
+		topo, err := topology.GenerateInet(cfg)
+		if err != nil {
+			return nil, err
+		}
+		st := topo.Summarize()
+		t.Rows = append(t.Rows, Row{
+			Label: profile.String(),
+			Values: []float64{
+				float64(st.ASes), float64(st.MaxDepth),
+				float64(st.AttackASes), float64(st.LegitASes), float64(st.OverlapASes),
+				st.MeanAttackDepth, st.MeanLegitDepth, st.BotsInTop5PercentASesFrac,
+			},
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"floc/internal/stats"
+)
+
+// Replication aggregates one scenario's class shares over several seeds.
+type Replication struct {
+	// Seeds are the seeds that were run.
+	Seeds []uint64
+	// Share[class] collects the per-run shares.
+	Share map[FlowClass]*stats.Running
+	// Utilization collects per-run utilization.
+	Utilization stats.Running
+}
+
+// Replicate runs the scenario once per seed and aggregates the
+// differential-guarantee metrics, for confidence reporting: simulation
+// conclusions should never rest on a single seed.
+func Replicate(sc Scenario, seeds []uint64) (*Replication, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: no seeds")
+	}
+	rep := &Replication{
+		Seeds: seeds,
+		Share: map[FlowClass]*stats.Running{
+			ClassLegitLegit:      {},
+			ClassLegitAttackPath: {},
+			ClassAttack:          {},
+		},
+	}
+	for _, seed := range seeds {
+		run := sc
+		run.Seed = seed
+		m, err := Run(run)
+		if err != nil {
+			return nil, err
+		}
+		for class, agg := range rep.Share {
+			agg.Add(m.ClassShare(class))
+		}
+		rep.Utilization.Add(m.Utilization)
+	}
+	return rep, nil
+}
+
+// Row renders the replication as a table row: mean and standard deviation
+// of each class share plus utilization.
+func (r *Replication) Row(label string) Row {
+	return Row{
+		Label: label,
+		Values: []float64{
+			r.Share[ClassLegitLegit].Mean(), r.Share[ClassLegitLegit].Std(),
+			r.Share[ClassLegitAttackPath].Mean(), r.Share[ClassLegitAttackPath].Std(),
+			r.Share[ClassAttack].Mean(), r.Share[ClassAttack].Std(),
+			r.Utilization.Mean(),
+		},
+	}
+}
+
+// ReplicationColumns are the column names matching Replication.Row.
+var ReplicationColumns = []string{
+	"legit_mean", "legit_std",
+	"legit_atk_mean", "legit_atk_std",
+	"attack_mean", "attack_std",
+	"util_mean",
+}

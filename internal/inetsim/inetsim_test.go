@@ -1,0 +1,206 @@
+package inetsim
+
+import (
+	"testing"
+
+	"floc/internal/topology"
+)
+
+// smallTopo builds a reduced Internet topology for fast tests.
+func smallTopo(t *testing.T, profile topology.Profile, overlap float64) *topology.Inet {
+	t.Helper()
+	cfg := topology.DefaultInetConfig(profile)
+	cfg.TotalASes = 250
+	cfg.LegitASes = 40
+	cfg.AttackASes = 20
+	cfg.LegitSources = 800
+	cfg.AttackSources = 6000
+	cfg.OverlapFrac = overlap
+	topo, err := topology.GenerateInet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// smallConfig shrinks capacity so the small topology still floods the
+// target: 6000 bots * 0.64 = 3840 pkts/tick offered vs 1000 capacity.
+func smallConfig(topo *topology.Inet, def DefenseKind) Config {
+	cfg := DefaultConfig(topo, def)
+	cfg.CapacityPerTick = 1000
+	cfg.Ticks = 300
+	cfg.WarmupTicks = 100
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	topo := smallTopo(t, topology.FRoot, 0.3)
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	cfg := smallConfig(topo, NoDefense)
+	cfg.CapacityPerTick = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	cfg = smallConfig(topo, NoDefense)
+	cfg.WarmupTicks = cfg.Ticks
+	if _, err := New(cfg); err == nil {
+		t.Fatal("warmup >= ticks accepted")
+	}
+	cfg = smallConfig(topo, "bogus")
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unknown defense accepted")
+	}
+	cfg = smallConfig(topo, NoDefense)
+	cfg.AttackRate = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero attack rate accepted")
+	}
+}
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Run()
+}
+
+func TestNoDefenseFloodDeniesLegit(t *testing.T) {
+	topo := smallTopo(t, topology.FRoot, 0.3)
+	res := run(t, smallConfig(topo, NoDefense))
+	legit := res.Share[LegitLegit] + res.Share[LegitAttack]
+	// Paper Fig. 13 "ND": legitimate flows are (almost) completely denied.
+	if legit > 0.1 {
+		t.Fatalf("legit share under no defense = %v, attack too weak", legit)
+	}
+	if res.Share[Attack] < 0.5 {
+		t.Fatalf("attack share = %v under flood", res.Share[Attack])
+	}
+	if res.DroppedAtTarget == 0 {
+		t.Fatal("no drops at flooded target")
+	}
+}
+
+func TestFairFlowPartialProtection(t *testing.T) {
+	topo := smallTopo(t, topology.FRoot, 0.3)
+	nd := run(t, smallConfig(topo, NoDefense))
+	ff := run(t, smallConfig(topo, FairFlow))
+	ndLegit := nd.Share[LegitLegit] + nd.Share[LegitAttack]
+	ffLegit := ff.Share[LegitLegit] + ff.Share[LegitAttack]
+	// FF gives legitimate flows more than ND but far from full capacity
+	// (paper: ~20%).
+	if ffLegit <= ndLegit {
+		t.Fatalf("FF did not improve on ND: %v vs %v", ffLegit, ndLegit)
+	}
+	if ffLegit > 0.6 {
+		t.Fatalf("FF legit share suspiciously high: %v", ffLegit)
+	}
+}
+
+func TestFLocLocalizesLargeScaleAttack(t *testing.T) {
+	topo := smallTopo(t, topology.FRoot, 0.3)
+	floc := run(t, smallConfig(topo, FLoc))
+	ff := run(t, smallConfig(topo, FairFlow))
+	flocLegit := floc.Share[LegitLegit] + floc.Share[LegitAttack]
+	ffLegit := ff.Share[LegitLegit] + ff.Share[LegitAttack]
+	// Paper Fig. 13: FLoc reaches ~70% legit share, far above FF.
+	if flocLegit <= ffLegit {
+		t.Fatalf("FLoc (%v) did not beat FF (%v)", flocLegit, ffLegit)
+	}
+	if flocLegit < 0.4 {
+		t.Fatalf("FLoc legit share = %v, want >= 0.4", flocLegit)
+	}
+	// Legit flows in attack ASes are not denied (differential guarantee).
+	if floc.Share[LegitAttack] <= 0 {
+		t.Fatal("legit flows in attack ASes fully denied under FLoc")
+	}
+}
+
+func TestFLocAggregationImprovesLegitPaths(t *testing.T) {
+	topo := smallTopo(t, topology.FRoot, 0.3)
+	na := run(t, smallConfig(topo, FLoc))
+
+	cfgAgg := smallConfig(topo, FLoc)
+	cfgAgg.SMax = 45 // below the ~60 active ASes: forces aggregation
+	agg := run(t, cfgAgg)
+
+	if agg.GuaranteedPaths == 0 || agg.GuaranteedPaths > 45+2 {
+		t.Fatalf("guaranteed paths after aggregation = %d", agg.GuaranteedPaths)
+	}
+	if na.GuaranteedPaths <= agg.GuaranteedPaths {
+		t.Fatalf("aggregation did not reduce paths: %d vs %d", na.GuaranteedPaths, agg.GuaranteedPaths)
+	}
+	// Paper: "As aggregation proceeds, legitimate flows in legitimate
+	// paths get more bandwidth allocation".
+	if agg.Share[LegitLegit] < na.Share[LegitLegit]*0.95 {
+		t.Fatalf("aggregation hurt legit paths: %v vs %v", agg.Share[LegitLegit], na.Share[LegitLegit])
+	}
+}
+
+func TestSeparatedTopologyImprovesLocalization(t *testing.T) {
+	mixed := smallTopo(t, topology.FRoot, 0.3)
+	separated := smallTopo(t, topology.FRoot, 0)
+	rm := run(t, smallConfig(mixed, FLoc))
+	rs := run(t, smallConfig(separated, FLoc))
+	// With no legitimate residents in attack ASes, there is no
+	// legit-in-attack-path traffic at all.
+	if rs.Share[LegitAttack] != 0 {
+		t.Fatalf("separated topology has legit-attack share %v", rs.Share[LegitAttack])
+	}
+	if rs.Share[LegitLegit] <= 0 {
+		t.Fatal("separated legit share zero")
+	}
+	_ = rm
+}
+
+func TestDeterminism(t *testing.T) {
+	topo := smallTopo(t, topology.HRoot, 0.3)
+	a := run(t, smallConfig(topo, FLoc))
+	// Regenerate an identical topology: GenerateInet is deterministic.
+	topo2 := smallTopo(t, topology.HRoot, 0.3)
+	b := run(t, smallConfig(topo2, FLoc))
+	if a != b {
+		t.Fatalf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if LegitLegit.String() == "" || LegitAttack.String() == "" || Attack.String() == "" {
+		t.Fatal("class names empty")
+	}
+	if Class(9).String() != "unknown" {
+		t.Fatal("unknown class name")
+	}
+}
+
+func TestTCPFlowsAdaptInSim(t *testing.T) {
+	// Without attack pressure (tiny attack rate), legit flows should
+	// achieve healthy aggregate utilization.
+	topo := smallTopo(t, topology.FRoot, 0.3)
+	cfg := smallConfig(topo, NoDefense)
+	cfg.AttackRate = 0.0001 // negligible
+	res := run(t, cfg)
+	legit := res.Share[LegitLegit] + res.Share[LegitAttack]
+	if legit < 0.3 {
+		t.Fatalf("legit utilization without attack = %v", legit)
+	}
+}
+
+func TestInjectedCounted(t *testing.T) {
+	topo := smallTopo(t, topology.FRoot, 0.3)
+	res := run(t, smallConfig(topo, NoDefense))
+	if res.Injected == 0 {
+		t.Fatal("no injections counted")
+	}
+	// Everything delivered or dropped is bounded by what was injected.
+	delivered := res.Delivered[0] + res.Delivered[1] + res.Delivered[2]
+	if delivered > res.Injected {
+		t.Fatalf("delivered %d > injected %d", delivered, res.Injected)
+	}
+	if res.DroppedAtTarget+res.DroppedInTransit > res.Injected {
+		t.Fatalf("drops exceed injections")
+	}
+}

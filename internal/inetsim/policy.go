@@ -1,0 +1,453 @@
+package inetsim
+
+import "sort"
+
+// ndPolicy is the no-defense baseline: serve up to capacity, chosen
+// uniformly at random among the tick's queued packets (paper VII-B), drop
+// the rest.
+type ndPolicy struct{}
+
+func (*ndPolicy) control(*Sim) {}
+
+func (*ndPolicy) admit(s *Sim, queued []int32) (served, wait []int32) {
+	capacity := s.cfg.CapacityPerTick
+	if len(queued) <= capacity {
+		return queued, nil
+	}
+	s.rng.Shuffle(len(queued), func(a, b int) { queued[a], queued[b] = queued[b], queued[a] })
+	return queued[:capacity], queued[capacity:]
+}
+
+// ffPolicy is the per-flow fairness baseline of Section VII-C: all
+// legitimate packets are high priority; attack packets are high priority
+// up to their per-flow fair bandwidth; normal-priority packets are served
+// only with leftover capacity.
+type ffPolicy struct {
+	fairPerTick float64
+	// hiCredit[flow] accumulates each attack flow's high-priority budget.
+	hiCredit []float32
+}
+
+func newFFPolicy(s *Sim) *ffPolicy {
+	p := &ffPolicy{hiCredit: make([]float32, len(s.flows))}
+	p.control(s)
+	return p
+}
+
+func (p *ffPolicy) control(s *Sim) {
+	n := len(s.flows)
+	if n == 0 {
+		n = 1
+	}
+	p.fairPerTick = float64(s.cfg.CapacityPerTick) / float64(n)
+}
+
+func (p *ffPolicy) admit(s *Sim, queued []int32) (served, wait []int32) {
+	capacity := s.cfg.CapacityPerTick
+	// Refill attack flows' high-priority budgets.
+	for i := range s.flows {
+		if s.flows[i].class == Attack {
+			p.hiCredit[i] += float32(p.fairPerTick)
+			if p.hiCredit[i] > 4*float32(p.fairPerTick)+1 {
+				p.hiCredit[i] = 4*float32(p.fairPerTick) + 1
+			}
+		}
+	}
+	hi := make([]int32, 0, len(queued))
+	var lo []int32
+	for _, fi := range queued {
+		f := &s.flows[fi]
+		if f.class != Attack {
+			hi = append(hi, fi)
+		} else if p.hiCredit[fi] >= 1 {
+			p.hiCredit[fi]--
+			hi = append(hi, fi)
+		} else {
+			lo = append(lo, fi)
+		}
+	}
+	if len(hi) > capacity {
+		s.rng.Shuffle(len(hi), func(a, b int) { hi[a], hi[b] = hi[b], hi[a] })
+		// High-priority overflow waits; low priority is shed first.
+		return hi[:capacity], hi[capacity:]
+	}
+	room := capacity - len(hi)
+	if len(lo) > room {
+		s.rng.Shuffle(len(lo), func(a, b int) { lo[a], lo[b] = lo[b], lo[a] })
+		return append(hi, lo[:room]...), lo[room:]
+	}
+	return append(hi, lo...), nil
+}
+
+// flocPolicy is the tick-level FLoc variant: per-origin-domain quotas
+// (with unused quota redistributed work-conservingly), per-flow
+// preferential drops pinning over-fair flows of attack paths at their
+// fair share with non-responsiveness escalation, conformance tracking,
+// and attack-path aggregation under |S|max.
+//
+// It re-derives internal/core's mechanisms at tick granularity, exactly
+// as the paper's own Internet-scale simulator re-implemented the ns-2
+// router model coarsely.
+type flocPolicy struct {
+	// pathOf[asIdx] = current guaranteed-path index of the AS.
+	pathOf []int32
+	paths  []flocPath
+	// conformEWMA[asIdx] is the AS's conformance measure (Eq. IV.6).
+	conformEWMA []float64
+	// planSig detects aggregation-plan changes so path state (attack
+	// flags, lambda) survives control ticks with an unchanged plan.
+	planSig string
+}
+
+// flocPath is one guaranteed path identifier (an origin AS or an
+// aggregate of origin ASes).
+type flocPath struct {
+	flows       int
+	quota       float64
+	attack      bool
+	used        float64
+	arrived     float64
+	lambda      float64
+	conformance float64
+	// members lists the AS indices merged into this path (single AS for
+	// origin paths).
+	members []int
+}
+
+func newFLocPolicy(s *Sim) *flocPolicy {
+	p := &flocPolicy{
+		pathOf:      make([]int32, len(s.topo.ASes)),
+		conformEWMA: make([]float64, len(s.topo.ASes)),
+	}
+	for i := range p.conformEWMA {
+		p.conformEWMA[i] = 1
+	}
+	p.rebuild(s, nil)
+	return p
+}
+
+func (p *flocPolicy) guaranteedPaths() int { return len(p.paths) }
+
+// rebuild assigns ASes to guaranteed paths. groups maps a group id to
+// member AS indices for aggregation; ASes not in a group get their own
+// path. Only ASes with sources participate.
+func (p *flocPolicy) rebuild(s *Sim, groups [][]int) {
+	p.paths = p.paths[:0]
+	for i := range p.pathOf {
+		p.pathOf[i] = -1
+	}
+	inGroup := map[int]bool{}
+	for _, members := range groups {
+		idx := int32(len(p.paths))
+		p.paths = append(p.paths, flocPath{conformance: 1, members: members})
+		for _, as := range members {
+			p.pathOf[as] = idx
+			inGroup[as] = true
+		}
+	}
+	for i := range s.topo.ASes {
+		a := &s.topo.ASes[i]
+		if a.LegitHosts+a.Bots == 0 || inGroup[i] {
+			continue
+		}
+		p.pathOf[i] = int32(len(p.paths))
+		p.paths = append(p.paths, flocPath{conformance: 1, members: []int{i}})
+	}
+	// Count flows per path.
+	for i := range s.flows {
+		pi := p.pathOf[s.flows[i].asIdx]
+		if pi >= 0 {
+			p.paths[pi].flows++
+		}
+	}
+	p.setQuotas(s)
+}
+
+func (p *flocPolicy) setQuotas(s *Sim) {
+	if len(p.paths) == 0 {
+		return
+	}
+	quota := float64(s.cfg.CapacityPerTick) / float64(len(p.paths))
+	for i := range p.paths {
+		p.paths[i].quota = quota
+	}
+}
+
+// control updates per-flow rates, attack flags, conformance, and the
+// aggregation plan.
+func (p *flocPolicy) control(s *Sim) {
+	const period = 20.0 // ticks between control runs (see Sim.Run)
+
+	// Per-flow send rates and attack-flow classification.
+	type asAgg struct{ flows, attack int }
+	perAS := make([]asAgg, len(s.topo.ASes))
+	for i := range s.flows {
+		f := &s.flows[i]
+		f.sentRate = 0.5*f.sentRate + 0.5*(f.sent/period)
+		f.sent = 0
+		pi := p.pathOf[f.asIdx]
+		if pi < 0 {
+			continue
+		}
+		path := &p.paths[pi]
+		// A flow cannot be expected to run below one packet per RTT, no
+		// matter how populous its domain: floor the fair share there so
+		// responsive flows of large legitimate domains are never
+		// classified as attack flows.
+		fair := maxFloat(path.quota/float64(maxInt(path.flows, 1)), 1/float64(f.rttTicks))
+		over := float64(f.sentRate) > 1.5*fair
+		if over {
+			f.escal = minf(8, maxf(1, f.escal)*1.25)
+		} else {
+			f.escal = maxf(1, f.escal*0.7)
+		}
+		perAS[f.asIdx].flows++
+		if over {
+			perAS[f.asIdx].attack++
+		}
+	}
+
+	// Conformance EWMA per AS (Eq. IV.6, beta = 0.2).
+	for i := range perAS {
+		if perAS[i].flows == 0 {
+			continue
+		}
+		sample := 1 - float64(perAS[i].attack)/float64(perAS[i].flows)
+		p.conformEWMA[i] = 0.2*sample + 0.8*p.conformEWMA[i]
+	}
+
+	// Path conformance (flow-weighted member mean), lambda, and
+	// attack-path detection: a path joins the attack tree only when it
+	// both over-subscribes its quota and has low conformance (Section
+	// IV-C) — an over-subscribed but fully conformant (populous,
+	// responsive) domain keeps the lenient policy.
+	for i := range p.paths {
+		path := &p.paths[i]
+		sumN, sumEN := 0.0, 0.0
+		for _, as := range path.members {
+			n := float64(s.topo.ASes[as].LegitHosts + s.topo.ASes[as].Bots)
+			sumN += n
+			sumEN += p.conformEWMA[as] * n
+		}
+		if sumN > 0 {
+			path.conformance = sumEN / sumN
+		}
+		rate := path.arrived / period
+		path.lambda = 0.5*rate + 0.5*path.lambda
+		path.arrived = 0
+		path.attack = path.lambda > 1.1*path.quota && path.conformance < 0.5
+	}
+
+	// Aggregation when the active path count exceeds SMax.
+	if s.cfg.SMax > 0 {
+		p.aggregate(s)
+	}
+}
+
+// planSignature canonicalizes a grouping for change detection.
+func planSignature(groups [][]int) string {
+	var b []byte
+	for _, g := range groups {
+		for _, as := range g {
+			b = appendInt(b, as)
+			b = append(b, ',')
+		}
+		b = append(b, ';')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [12]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// aggregate lifts low-conformance origin ASes into shared-parent groups
+// (longest postfix first) until the guaranteed-path count fits SMax.
+func (p *flocPolicy) aggregate(s *Sim) {
+	active := 0
+	var attackASes []int
+	for i := range s.topo.ASes {
+		if s.topo.ASes[i].LegitHosts+s.topo.ASes[i].Bots == 0 {
+			continue
+		}
+		active++
+		if p.conformEWMA[i] < 0.5 {
+			attackASes = append(attackASes, i)
+		}
+	}
+	if active <= s.cfg.SMax || len(attackASes) < 2 {
+		return
+	}
+	need := active - s.cfg.SMax
+
+	// Group attack ASes by progressively shorter postfixes of their
+	// paths (nearest shared domains first).
+	sort.Ints(attackASes)
+	var groups [][]int
+	assigned := map[int]bool{}
+	for level := 1; need > 0 && level < s.topo.MaxDepth; level++ {
+		byKey := map[string][]int{}
+		for _, as := range attackASes {
+			if assigned[as] {
+				continue
+			}
+			path := s.topo.ASes[as].Path
+			if path.Len() <= level {
+				continue
+			}
+			key := path.Postfix(path.Len() - level).Key()
+			byKey[key] = append(byKey[key], as)
+		}
+		keys := make([]string, 0, len(byKey))
+		for k := range byKey {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			members := byKey[k]
+			if len(members) < 2 || need <= 0 {
+				continue
+			}
+			groups = append(groups, members)
+			for _, as := range members {
+				assigned[as] = true
+			}
+			need -= len(members) - 1
+		}
+	}
+	if need > 0 {
+		// Last resort: one global aggregate of all remaining attack ASes.
+		var rest []int
+		for _, as := range attackASes {
+			if !assigned[as] {
+				rest = append(rest, as)
+			}
+		}
+		if len(rest) >= 2 {
+			groups = append(groups, rest)
+		}
+	}
+	if len(groups) == 0 {
+		return
+	}
+	sig := planSignature(groups)
+	if sig == p.planSig {
+		return // unchanged plan: keep path state (attack flags, lambda)
+	}
+	p.planSig = sig
+	p.rebuild(s, groups)
+	// Fresh aggregates are built from low-conformance ASes: start them
+	// flagged so their quota is strict from the first tick.
+	for i := range groups {
+		p.paths[i].attack = true
+	}
+}
+
+// admit implements the per-tick FLoc service decision.
+func (p *flocPolicy) admit(s *Sim, queued []int32) (served, wait []int32) {
+	capacity := s.cfg.CapacityPerTick
+	for i := range p.paths {
+		p.paths[i].used = 0
+	}
+	served = make([]int32, 0, minInt(len(queued), capacity))
+	var overflow []int32
+
+	// Shuffle so quota contention within a tick is unbiased.
+	s.rng.Shuffle(len(queued), func(a, b int) { queued[a], queued[b] = queued[b], queued[a] })
+
+	for _, fi := range queued {
+		f := &s.flows[fi]
+		pi := p.pathOf[f.asIdx]
+		if pi < 0 {
+			overflow = append(overflow, fi)
+			continue
+		}
+		path := &p.paths[pi]
+		path.arrived++
+
+		// Preferential drop: flows of attack paths offering more than
+		// their (escalation-scaled) fair share.
+		if path.attack {
+			fair := maxFloat(path.quota/float64(maxInt(path.flows, 1)), 1/float64(f.rttTicks))
+			rate := float64(f.sentRate)
+			if rate > fair {
+				pd := 1 - fair/(float64(f.escal)*rate)
+				if s.rng.Float64() < pd {
+					s.dropAtTarget(fi)
+					continue
+				}
+			}
+		}
+		if path.used < path.quota && len(served) < capacity {
+			path.used++
+			served = append(served, fi)
+			continue
+		}
+		overflow = append(overflow, fi)
+	}
+	// Work conservation: leftover capacity serves overflow FCFS, except
+	// packets of attack paths (their quota is strict — Section V-A's
+	// early/strict activation for attack identifiers). Non-attack
+	// overflow beyond capacity waits in the router buffer.
+	room := capacity - len(served)
+	for _, fi := range overflow {
+		f := &s.flows[fi]
+		pi := p.pathOf[f.asIdx]
+		if pi >= 0 && p.paths[pi].attack {
+			s.dropAtTarget(fi)
+			continue
+		}
+		if room > 0 {
+			served = append(served, fi)
+			room--
+			continue
+		}
+		wait = append(wait, fi)
+	}
+	return served, wait
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+package inetsim
+
+import (
+	"testing"
+
+	"floc/internal/topology"
+)
+
+// tinySim builds a Sim over a minimal topology for policy unit tests.
+func tinySim(t *testing.T, def DefenseKind) *Sim {
+	t.Helper()
+	cfg := topology.DefaultInetConfig(topology.FRoot)
+	cfg.TotalASes = 60
+	cfg.LegitASes = 10
+	cfg.AttackASes = 5
+	cfg.LegitSources = 40
+	cfg.AttackSources = 200
+	topo, err := topology.GenerateInet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := DefaultConfig(topo, def)
+	scfg.CapacityPerTick = 50
+	scfg.Ticks = 100
+	scfg.WarmupTicks = 20
+	s, err := New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNDPolicyServesUpToCapacity(t *testing.T) {
+	s := tinySim(t, NoDefense)
+	queued := make([]int32, 120)
+	for i := range queued {
+		queued[i] = int32(i % len(s.flows))
+	}
+	served, wait := s.policy.admit(s, queued)
+	if len(served) != 50 {
+		t.Fatalf("served %d, want capacity 50", len(served))
+	}
+	if len(wait) != 70 {
+		t.Fatalf("wait %d, want 70", len(wait))
+	}
+	// Under capacity: everything served.
+	served, wait = s.policy.admit(s, queued[:30])
+	if len(served) != 30 || len(wait) != 0 {
+		t.Fatalf("underload served=%d wait=%d", len(served), len(wait))
+	}
+}
+
+func TestFFPolicyPrioritizesLegit(t *testing.T) {
+	s := tinySim(t, FairFlow)
+	// Find one legit and many attack flows.
+	var legit int32 = -1
+	var bots []int32
+	for i := range s.flows {
+		if s.flows[i].class == Attack {
+			bots = append(bots, int32(i))
+		} else if legit < 0 {
+			legit = int32(i)
+		}
+	}
+	if legit < 0 || len(bots) == 0 {
+		t.Fatal("missing flow classes")
+	}
+	// Queue: 200 attack packets from one bot (exhausting its budget) plus
+	// 10 legit packets.
+	var queued []int32
+	for i := 0; i < 200; i++ {
+		queued = append(queued, bots[0])
+	}
+	for i := 0; i < 10; i++ {
+		queued = append(queued, legit)
+	}
+	served, _ := s.policy.admit(s, queued)
+	legitServed := 0
+	for _, fi := range served {
+		if s.flows[fi].class != Attack {
+			legitServed++
+		}
+	}
+	if legitServed != 10 {
+		t.Fatalf("legit served %d/10 under FF", legitServed)
+	}
+}
+
+func TestFLocPolicyQuotasAndWorkConservation(t *testing.T) {
+	s := tinySim(t, FLoc)
+	p := s.policy.(*flocPolicy)
+	if p.guaranteedPaths() == 0 {
+		t.Fatal("no guaranteed paths")
+	}
+	// All packets from one AS's flows: first-pass quota plus
+	// work-conserving overflow should serve up to capacity when the path
+	// is not flagged.
+	var flowsOfOneAS []int32
+	as := s.flows[0].asIdx
+	for i := range s.flows {
+		if s.flows[i].asIdx == as {
+			flowsOfOneAS = append(flowsOfOneAS, int32(i))
+		}
+	}
+	var queued []int32
+	for len(queued) < 80 {
+		queued = append(queued, flowsOfOneAS[len(queued)%len(flowsOfOneAS)])
+	}
+	served, wait := p.admit(s, queued)
+	if len(served) != 50 {
+		t.Fatalf("work conservation failed: served %d of capacity 50", len(served))
+	}
+	if len(wait) != 30 {
+		t.Fatalf("wait %d, want 30", len(wait))
+	}
+}
+
+func TestFLocPolicyStrictOnAttackPaths(t *testing.T) {
+	s := tinySim(t, FLoc)
+	p := s.policy.(*flocPolicy)
+	as := s.flows[0].asIdx
+	pi := p.pathOf[as]
+	p.paths[pi].attack = true
+	var queued []int32
+	for i := range s.flows {
+		if s.flows[i].asIdx == as {
+			for j := 0; j < 10; j++ {
+				queued = append(queued, int32(i))
+			}
+		}
+		if len(queued) >= 80 {
+			break
+		}
+	}
+	served, wait := p.admit(s, queued)
+	quota := p.paths[pi].quota
+	if float64(len(served)) > quota+1 {
+		t.Fatalf("attack path served %d beyond quota %v", len(served), quota)
+	}
+	if len(wait) != 0 {
+		t.Fatalf("attack-path overflow should drop, not wait: %d", len(wait))
+	}
+}
+
+func TestFLocAggregationGroupsByPostfix(t *testing.T) {
+	s := tinySim(t, FLoc)
+	s.cfg.SMax = 5
+	p := s.policy.(*flocPolicy)
+	// Mark every populated AS as low-conformance and aggregate.
+	for i := range p.conformEWMA {
+		p.conformEWMA[i] = 0.1
+	}
+	before := p.guaranteedPaths()
+	p.aggregate(s)
+	after := p.guaranteedPaths()
+	if after >= before {
+		t.Fatalf("aggregation did not reduce paths: %d -> %d", before, after)
+	}
+	// Aggregates must only contain populated ASes, each assigned once.
+	seen := map[int]bool{}
+	for _, path := range p.paths {
+		for _, as := range path.members {
+			if seen[as] {
+				t.Fatalf("AS %d in two paths", as)
+			}
+			seen[as] = true
+		}
+	}
+}
+
+func TestPlanSignatureStable(t *testing.T) {
+	a := planSignature([][]int{{1, 2}, {5}})
+	b := planSignature([][]int{{1, 2}, {5}})
+	if a != b {
+		t.Fatal("identical plans hash differently")
+	}
+	if planSignature([][]int{{1, 2, 5}}) == a {
+		t.Fatal("different plans collide")
+	}
+	if planSignature(nil) != "" {
+		t.Fatal("empty plan not empty")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if minInt(2, 3) != 2 || maxInt(2, 3) != 3 {
+		t.Fatal("int helpers")
+	}
+	if minf(1, 2) != 1 || maxf(1, 2) != 2 {
+		t.Fatal("float32 helpers")
+	}
+	if maxFloat(1, 2) != 2 {
+		t.Fatal("float helpers")
+	}
+	if string(appendInt(nil, 0)) != "0" || string(appendInt(nil, 123)) != "123" {
+		t.Fatal("appendInt")
+	}
+}

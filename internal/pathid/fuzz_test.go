@@ -1,0 +1,46 @@
+package pathid
+
+import "testing"
+
+// FuzzTreeOps inserts and removes arbitrary paths and checks structural
+// invariants: leaves reconstruct to their inserted identifiers, and
+// removal prunes without breaking other paths.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint8(2))
+	f.Add([]byte{9, 9, 9}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, removeIdx uint8) {
+		tr := NewTree(0)
+		var paths []PathID
+		for i := 0; i+2 < len(raw) && len(paths) < 16; i += 3 {
+			p := New(ASN(raw[i])+1, ASN(raw[i+1])+1, ASN(raw[i+2])+1)
+			if _, err := tr.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			paths = append(paths, p)
+		}
+		if len(paths) == 0 {
+			return
+		}
+		// Every leaf must reconstruct to some inserted path.
+		inserted := map[string]bool{}
+		for _, p := range paths {
+			inserted[p.Key()] = true
+		}
+		for _, leaf := range tr.Leaves() {
+			if !inserted[leaf.Path().Key()] {
+				t.Fatalf("leaf %v not inserted", leaf.Path())
+			}
+		}
+		// Remove one path; the others must survive.
+		victim := paths[int(removeIdx)%len(paths)]
+		tr.Remove(victim)
+		for _, p := range paths {
+			if p.Key() == victim.Key() {
+				continue
+			}
+			if tr.Leaf(p) == nil {
+				t.Fatalf("removing %v destroyed %v", victim, p)
+			}
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Var() != 0 {
+		t.Fatal("zero Running not zeroed")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", r.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is 32/7.
+	if math.Abs(r.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", r.Var(), 32.0/7.0)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+	if math.Abs(r.Sum()-40) > 1e-9 {
+		t.Fatalf("Sum = %v", r.Sum())
+	}
+}
+
+func TestRunningMatchesDirectComputation(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Running
+		sum := 0.0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				return true // skip pathological inputs
+			}
+			r.Add(x)
+			sum += x
+		}
+		if len(xs) == 0 {
+			return r.N() == 0
+		}
+		mean := sum / float64(len(xs))
+		return math.Abs(r.Mean()-mean) < 1e-6*(1+math.Abs(mean))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.2)
+	if e.Initialized() {
+		t.Fatal("fresh EWMA claims initialized")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first sample should initialize: %v", e.Value())
+	}
+	e.Add(0)
+	if math.Abs(e.Value()-8) > 1e-12 {
+		t.Fatalf("EWMA after (10, 0) = %v, want 8", e.Value())
+	}
+	e.Set(3)
+	if e.Value() != 3 {
+		t.Fatal("Set did not take")
+	}
+}
+
+func TestEWMAPanicsOnBadBeta(t *testing.T) {
+	for _, beta := range []float64{0, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) did not panic", beta)
+				}
+			}()
+			NewEWMA(beta)
+		}()
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.3)
+	for i := 0; i < 100; i++ {
+		e.Add(42)
+	}
+	if math.Abs(e.Value()-42) > 1e-9 {
+		t.Fatalf("EWMA of constant stream = %v", e.Value())
+	}
+}
+
+func TestCDFQuantiles(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.01, 1}, {0.5, 50}, {0.9, 90}, {1, 100},
+	}
+	for _, tc := range cases {
+		if got := c.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	var c CDF
+	for _, v := range []float64{1, 2, 2, 3} {
+		c.Add(v)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFAtIsMonotoneProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var c CDF
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				return true
+			}
+			c.Add(x)
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		probe := append([]float64(nil), xs...)
+		sort.Float64s(probe)
+		prev := -1.0
+		for _, x := range probe {
+			v := c.At(x)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.Quantile(0.5) != 0 || c.At(1) != 0 || c.Mean() != 0 || c.Points(5) != nil {
+		t.Fatal("empty CDF should return zeros/nil")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 10; i++ {
+		c.Add(float64(i))
+	}
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points(5) returned %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].Y <= pts[i-1].Y {
+			t.Fatalf("points not monotone: %v", pts)
+		}
+	}
+	if pts[4].X != 10 || pts[4].Y != 1 {
+		t.Fatalf("last point %v, want (10, 1)", pts[4])
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(1.0)
+	ts.Add(0.5, 10)
+	ts.Add(0.9, 5)
+	ts.Add(2.1, 7)
+	bins := ts.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("len(bins) = %d, want 3", len(bins))
+	}
+	if bins[0] != 15 || bins[1] != 0 || bins[2] != 7 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if ts.Total() != 22 {
+		t.Fatalf("Total = %v", ts.Total())
+	}
+	if got := ts.RangeTotal(0, 1); got != 15 {
+		t.Fatalf("RangeTotal(0,1) = %v", got)
+	}
+	if got := ts.RangeTotal(1, 3); got != 7 {
+		t.Fatalf("RangeTotal(1,3) = %v", got)
+	}
+	if got := ts.RangeTotal(5, 2); got != 0 {
+		t.Fatalf("inverted range = %v, want 0", got)
+	}
+	if got := ts.RangeTotal(0, 100); got != 22 {
+		t.Fatalf("over-long range = %v, want 22", got)
+	}
+}
+
+func TestTimeSeriesNegativeTimeClamped(t *testing.T) {
+	ts := NewTimeSeries(0.5)
+	ts.Add(-3, 2)
+	if ts.Bins()[0] != 2 {
+		t.Fatalf("negative time not clamped to bin 0: %v", ts.Bins())
+	}
+}
+
+func TestTimeSeriesRate(t *testing.T) {
+	ts := NewTimeSeries(2.0)
+	ts.Add(1, 10)
+	rate := ts.Rate()
+	if rate[0] != 5 {
+		t.Fatalf("Rate = %v, want [5]", rate)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-5)  // clamps to bin 0
+	h.Add(100) // clamps to last bin
+	counts := h.Counts()
+	if counts[0] != 2 || counts[9] != 2 {
+		t.Fatalf("clamping failed: %v", counts)
+	}
+	if h.N() != 12 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if got := h.BinCenter(0); got != 0.5 {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+}
+
+func TestFormatRow(t *testing.T) {
+	got := FormatRow("label", 1, 2.5)
+	want := "label\t1.0000\t2.5000"
+	if got != want {
+		t.Fatalf("FormatRow = %q, want %q", got, want)
+	}
+}
+
+func TestRunningStd(t *testing.T) {
+	var r Running
+	r.Add(1)
+	r.Add(3)
+	// Sample variance of {1,3} is 2; std = sqrt(2).
+	if math.Abs(r.Std()-math.Sqrt2) > 1e-12 {
+		t.Fatalf("Std = %v", r.Std())
+	}
+}
+
+func TestCDFNAndMean(t *testing.T) {
+	var c CDF
+	c.Add(2)
+	c.Add(4)
+	if c.N() != 2 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if c.Mean() != 3 {
+		t.Fatalf("Mean = %v", c.Mean())
+	}
+	if c.Quantile(2) != 4 { // q >= 1 clamps to max
+		t.Fatalf("Quantile(2) = %v", c.Quantile(2))
+	}
+	if c.Quantile(-1) != 2 { // q <= 0 clamps to min
+		t.Fatalf("Quantile(-1) = %v", c.Quantile(-1))
+	}
+}
+
+func TestTimeSeriesBinWidthAndPanics(t *testing.T) {
+	ts := NewTimeSeries(0.5)
+	if ts.BinWidth() != 0.5 {
+		t.Fatalf("BinWidth = %v", ts.BinWidth())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTimeSeries(0) did not panic")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(1, 1, 10) },
+		func() { NewHistogram(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid histogram accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

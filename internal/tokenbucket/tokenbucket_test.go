@@ -1,0 +1,171 @@
+package tokenbucket
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, period, size float64) *Bucket {
+	t.Helper()
+	b, err := New(period, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range []struct{ period, size float64 }{
+		{0, 1}, {-1, 1}, {1, 0}, {1, -5},
+	} {
+		if _, err := New(tc.period, tc.size); err == nil {
+			t.Errorf("New(%v, %v) accepted", tc.period, tc.size)
+		}
+	}
+}
+
+func TestTakeWithinPeriod(t *testing.T) {
+	b := mustNew(t, 1.0, 10)
+	for i := 0; i < 10; i++ {
+		if !b.Take(0.5, 1) {
+			t.Fatalf("take %d denied with tokens available", i)
+		}
+	}
+	if b.Take(0.9, 1) {
+		t.Fatal("11th take in one period admitted")
+	}
+	if got := b.Available(0.95); got != 0 {
+		t.Fatalf("Available = %v", got)
+	}
+}
+
+func TestPeriodRefillDiscardsUnused(t *testing.T) {
+	b := mustNew(t, 1.0, 10)
+	b.Take(0, 3) // 7 left
+	// After rollover, exactly size tokens again — unused 7 do not carry.
+	if got := b.Available(1.0); got != 10 {
+		t.Fatalf("Available after rollover = %v, want 10", got)
+	}
+	// Burst of the full budget succeeds right at period start.
+	if !b.Take(1.0, 10) {
+		t.Fatal("full-size burst denied at period start")
+	}
+}
+
+func TestMultiplePeriodsSkipped(t *testing.T) {
+	b := mustNew(t, 0.5, 4)
+	b.Take(0, 4)
+	if b.Take(0.1, 1) {
+		t.Fatal("over-budget take admitted")
+	}
+	// Jump 10 periods ahead.
+	if !b.Take(5.0, 4) {
+		t.Fatal("take after long idle denied")
+	}
+	_, _, periods := b.Stats()
+	if periods != 11 {
+		t.Fatalf("periods = %d, want 11", periods)
+	}
+}
+
+func TestTimeGoingBackwardsIgnored(t *testing.T) {
+	b := mustNew(t, 1.0, 5)
+	b.Take(10, 5)
+	if b.Take(9, 1) {
+		t.Fatal("stale-time take refilled the bucket")
+	}
+}
+
+func TestSetParams(t *testing.T) {
+	b := mustNew(t, 1.0, 10)
+	b.Take(0, 2) // 8 left
+	if err := b.SetParams(1.0, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Remaining tokens clamped to the new, smaller size.
+	if got := b.Available(0.5); got != 5 {
+		t.Fatalf("Available after shrink = %v, want 5", got)
+	}
+	if err := b.SetParams(0, 5); err == nil {
+		t.Fatal("bad period accepted")
+	}
+	if err := b.SetParams(1, -1); err == nil {
+		t.Fatal("bad size accepted")
+	}
+	if b.Period() != 1.0 || b.Size() != 5 {
+		t.Fatal("failed SetParams mutated state")
+	}
+}
+
+func TestRate(t *testing.T) {
+	b := mustNew(t, 0.25, 10)
+	if got := b.Rate(); got != 40 {
+		t.Fatalf("Rate = %v", got)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	b := mustNew(t, 1.0, 2)
+	b.Take(0, 1)
+	b.Take(0, 1)
+	b.Take(0, 1) // denied
+	req, den, _ := b.Stats()
+	if req != 3 || den != 1 {
+		t.Fatalf("Stats = (%v, %v)", req, den)
+	}
+	b.ResetStats()
+	req, den, periods := b.Stats()
+	if req != 0 || den != 0 || periods != 1 {
+		t.Fatalf("after reset: (%v, %v, %d)", req, den, periods)
+	}
+}
+
+func TestPeriodRequested(t *testing.T) {
+	b := mustNew(t, 1.0, 5)
+	b.Take(0.1, 2)
+	b.Take(0.2, 4) // denied, still counted as requested
+	if got := b.PeriodRequested(0.3); got != 6 {
+		t.Fatalf("PeriodRequested = %v", got)
+	}
+	if got := b.PeriodRequested(1.1); got != 0 {
+		t.Fatalf("PeriodRequested after rollover = %v", got)
+	}
+}
+
+// Property: over k whole periods, the number of admitted unit-tokens never
+// exceeds k*size, no matter the request pattern.
+func TestAdmissionBoundedProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		const period, size = 1.0, 7.0
+		b, err := New(period, size)
+		if err != nil {
+			return false
+		}
+		admitted := 0
+		maxT := 0.0
+		for _, raw := range times {
+			tm := float64(raw) / 1000.0 // 0 .. 65.5 seconds, non-monotone ok
+			if tm > maxT {
+				maxT = tm
+			}
+			if b.Take(tm, 1) {
+				admitted++
+			}
+		}
+		periods := int(maxT/period) + 1
+		return float64(admitted) <= float64(periods)*size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFractionalTokens(t *testing.T) {
+	b := mustNew(t, 1.0, 1.5)
+	if !b.Take(0, 1.5) {
+		t.Fatal("fractional full take denied")
+	}
+	if b.Take(0.1, 0.1) {
+		t.Fatal("empty bucket admitted fractional take")
+	}
+}

@@ -1,0 +1,332 @@
+package topology
+
+import (
+	"fmt"
+
+	"floc/internal/pathid"
+	"floc/internal/rng"
+)
+
+// Profile selects an Internet-scale topology flavor. The three profiles
+// stand in for the paper's three Skitter maps: they differ in route
+// depth, branching, and how far from the target the attack domains sit
+// (the paper observes that in the JPN map "most attack ASs are located
+// farther from the destination and their paths are better separated").
+type Profile int
+
+// Topology profiles.
+const (
+	// FRoot mimics the f-root Skitter map: moderate depth, attackers
+	// mixed through the core.
+	FRoot Profile = iota + 1
+	// HRoot mimics the h-root map: similar to f-root with deeper routes.
+	HRoot
+	// JPN mimics the JPN map: attack domains farther from the target and
+	// better separated from legitimate ones.
+	JPN
+)
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	switch p {
+	case FRoot:
+		return "f-root"
+	case HRoot:
+		return "h-root"
+	case JPN:
+		return "jpn"
+	default:
+		return fmt.Sprintf("Profile(%d)", int(p))
+	}
+}
+
+// InetConfig parameterizes the Internet-scale topology generator
+// (Section VII-A).
+type InetConfig struct {
+	Profile Profile
+	// TotalASes is the number of ASes in the route tree (Skitter maps
+	// hold hundreds of thousands of routes; the AS-level tree is much
+	// smaller).
+	TotalASes int
+	// LegitASes and AttackASes are how many ASes host legitimate sources
+	// (paper: 200) and attack sources (paper: 100 or 300).
+	LegitASes, AttackASes int
+	// LegitSources and AttackSources are the host counts (paper: 10,000
+	// and 100,000).
+	LegitSources, AttackSources int
+	// OverlapFrac places this fraction of legitimate sources inside
+	// attack ASes to observe differential guarantees (paper: 0.3).
+	// Separated mode (Fig. 15) sets it to 0.
+	OverlapFrac float64
+	// BotSkew is the Zipf exponent of the bot distribution across attack
+	// ASes, reproducing CBL's extreme non-uniformity ("95% of bot IPs in
+	// 1.7% of ASes").
+	BotSkew float64
+	// PopSkew is the Zipf exponent of AS populations (GeoLite role):
+	// legitimate sources are placed proportionally to AS population.
+	PopSkew float64
+	// Seed makes generation reproducible.
+	Seed uint64
+}
+
+// DefaultInetConfig returns the paper's Section VII setup for a profile.
+func DefaultInetConfig(p Profile) InetConfig {
+	return InetConfig{
+		Profile:       p,
+		TotalASes:     1200,
+		LegitASes:     200,
+		AttackASes:    100,
+		LegitSources:  10000,
+		AttackSources: 100000,
+		OverlapFrac:   0.3,
+		BotSkew:       1.2,
+		PopSkew:       1.0,
+		Seed:          42,
+	}
+}
+
+// AS is one autonomous system in the generated route tree.
+type AS struct {
+	// Num is the AS number (index + 1; the target is AS 0, the root).
+	Num pathid.ASN
+	// Parent is the next AS toward the target (0 for ASes adjacent to
+	// the target's domain).
+	Parent pathid.ASN
+	// Depth is the AS-hop distance to the target.
+	Depth int
+	// Path is the domain path identifier of sources homed in this AS.
+	Path pathid.PathID
+	// Legit and Attack report whether the AS hosts legitimate or attack
+	// sources (both possible: an "attack AS" with legitimate residents).
+	Legit, Attack bool
+	// LegitHosts and Bots count the sources homed here.
+	LegitHosts, Bots int
+}
+
+// Source is one traffic source in the Internet-scale simulation.
+type Source struct {
+	// ASIdx indexes Inet.ASes.
+	ASIdx int
+	// Attack marks bots.
+	Attack bool
+}
+
+// Inet is a generated Internet-scale topology.
+type Inet struct {
+	Cfg InetConfig
+	// ASes[0] is the AS adjacent to the target... index i holds AS i+1.
+	ASes []AS
+	// Sources lists every traffic source.
+	Sources []Source
+	// MaxDepth is the deepest route.
+	MaxDepth int
+}
+
+// profileShape returns (meanDepth, maxDepth, attackMinDepthFrac,
+// rootBreadth) per profile. attackMinDepthFrac biases attack ASes to at
+// least that fraction of max depth from the target; rootBreadth is the
+// number of ASes adjacent to the target's domain (the routes of a
+// Skitter map fan into the root server's domain through many peers).
+func profileShape(p Profile) (meanDepth, maxDepth int, attackMinDepthFrac float64, rootBreadth int) {
+	switch p {
+	case HRoot:
+		return 7, 14, 0.2, 6
+	case JPN:
+		return 6, 12, 0.55, 8
+	default: // FRoot
+		return 6, 12, 0.2, 8
+	}
+}
+
+// GenerateInet builds a synthetic Internet-scale topology.
+func GenerateInet(cfg InetConfig) (*Inet, error) {
+	if cfg.TotalASes < cfg.LegitASes+1 || cfg.TotalASes < cfg.AttackASes+1 {
+		return nil, fmt.Errorf("topology: TotalASes %d too small", cfg.TotalASes)
+	}
+	if cfg.LegitASes < 1 || cfg.AttackASes < 1 {
+		return nil, fmt.Errorf("topology: need at least one legit and one attack AS")
+	}
+	if cfg.LegitSources < 1 || cfg.AttackSources < 1 {
+		return nil, fmt.Errorf("topology: need sources")
+	}
+	if cfg.OverlapFrac < 0 || cfg.OverlapFrac > 1 {
+		return nil, fmt.Errorf("topology: OverlapFrac %v out of [0,1]", cfg.OverlapFrac)
+	}
+	src := rng.New(cfg.Seed)
+	meanDepth, maxDepth, attackMinFrac, rootBreadth := profileShape(cfg.Profile)
+
+	inet := &Inet{Cfg: cfg, ASes: make([]AS, cfg.TotalASes)}
+
+	// Grow a route tree by preferential attachment biased toward the
+	// configured mean depth: each new AS attaches to a random existing AS
+	// whose depth is below maxDepth-1, preferring depths near meanDepth.
+	for i := range inet.ASes {
+		as := &inet.ASes[i]
+		as.Num = pathid.ASN(i + 1)
+		if i < rootBreadth {
+			as.Parent = 0
+			as.Depth = 1
+		} else {
+			// Sample attachment points until one fits the depth budget.
+			for tries := 0; ; tries++ {
+				j := src.Intn(i)
+				d := inet.ASes[j].Depth
+				if d >= maxDepth {
+					continue
+				}
+				// Acceptance probability shaped to hit meanDepth.
+				accept := 1.0
+				if d >= meanDepth {
+					accept = 0.35
+				}
+				if tries > 32 || src.Float64() < accept {
+					as.Parent = inet.ASes[j].Num
+					as.Depth = d + 1
+					break
+				}
+			}
+		}
+		if as.Depth > inet.MaxDepth {
+			inet.MaxDepth = as.Depth
+		}
+	}
+	// Build path identifiers (origin AS first, ending at the AS adjacent
+	// to the target domain).
+	for i := range inet.ASes {
+		var path pathid.PathID
+		cur := &inet.ASes[i]
+		for {
+			path = append(path, cur.Num)
+			if cur.Parent == 0 {
+				break
+			}
+			cur = &inet.ASes[cur.Parent-1]
+		}
+		inet.ASes[i].Path = path
+	}
+
+	// Attack AS selection: prefer ASes at depth >= attackMinFrac*max.
+	minAttackDepth := int(attackMinFrac * float64(inet.MaxDepth))
+	attackIdx := pickASes(src, inet, cfg.AttackASes, func(a *AS) bool {
+		return a.Depth >= minAttackDepth
+	})
+	for _, i := range attackIdx {
+		inet.ASes[i].Attack = true
+	}
+
+	// Legitimate AS selection: uniform over the tree; in Separated mode
+	// (OverlapFrac == 0) exclude attack ASes.
+	legitIdx := pickASes(src, inet, cfg.LegitASes, func(a *AS) bool {
+		return cfg.OverlapFrac > 0 || !a.Attack
+	})
+	for _, i := range legitIdx {
+		inet.ASes[i].Legit = true
+	}
+
+	// Bots: Zipf across attack ASes (CBL-like concentration).
+	botZipf := rng.NewZipf(src, len(attackIdx), cfg.BotSkew)
+	for b := 0; b < cfg.AttackSources; b++ {
+		i := attackIdx[botZipf.Next()]
+		inet.ASes[i].Bots++
+		inet.Sources = append(inet.Sources, Source{ASIdx: i, Attack: true})
+	}
+
+	// Legitimate sources: a fraction into attack ASes (overlap), the rest
+	// Zipf across legit ASes by population.
+	popZipf := rng.NewZipf(src, len(legitIdx), cfg.PopSkew)
+	overlap := int(cfg.OverlapFrac * float64(cfg.LegitSources))
+	for h := 0; h < cfg.LegitSources; h++ {
+		var i int
+		if h < overlap {
+			i = attackIdx[src.Intn(len(attackIdx))]
+		} else {
+			i = legitIdx[popZipf.Next()]
+		}
+		inet.ASes[i].LegitHosts++
+		inet.Sources = append(inet.Sources, Source{ASIdx: i, Attack: false})
+	}
+	return inet, nil
+}
+
+// pickASes selects n distinct AS indices satisfying ok, falling back to
+// unrestricted selection if the predicate leaves too few.
+func pickASes(src *rng.Source, inet *Inet, n int, ok func(*AS) bool) []int {
+	var eligible []int
+	for i := range inet.ASes {
+		if ok(&inet.ASes[i]) {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) < n {
+		eligible = eligible[:0]
+		for i := range inet.ASes {
+			eligible = append(eligible, i)
+		}
+	}
+	src.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+	return eligible[:n]
+}
+
+// Stats summarizes a generated topology for the Fig. 11/12 renderings.
+type Stats struct {
+	ASes, MaxDepth            int
+	AttackASes, LegitASes     int
+	OverlapASes               int // ASes hosting both bots and legit users
+	MeanAttackDepth           float64
+	MeanLegitDepth            float64
+	BotsInTop5PercentASesFrac float64
+}
+
+// Summarize computes topology statistics.
+func (in *Inet) Summarize() Stats {
+	var s Stats
+	s.ASes = len(in.ASes)
+	s.MaxDepth = in.MaxDepth
+	var attackDepthSum, legitDepthSum float64
+	var botCounts []int
+	totalBots := 0
+	for i := range in.ASes {
+		a := &in.ASes[i]
+		if a.Attack {
+			s.AttackASes++
+			attackDepthSum += float64(a.Depth)
+			botCounts = append(botCounts, a.Bots)
+			totalBots += a.Bots
+		}
+		if a.Legit {
+			s.LegitASes++
+			legitDepthSum += float64(a.Depth)
+		}
+		if a.Bots > 0 && a.LegitHosts > 0 {
+			s.OverlapASes++
+		}
+	}
+	if s.AttackASes > 0 {
+		s.MeanAttackDepth = attackDepthSum / float64(s.AttackASes)
+	}
+	if s.LegitASes > 0 {
+		s.MeanLegitDepth = legitDepthSum / float64(s.LegitASes)
+	}
+	// Concentration: fraction of bots in the 5% most-infested attack ASes.
+	if totalBots > 0 && len(botCounts) > 0 {
+		sortDesc(botCounts)
+		top := len(botCounts) / 20
+		if top < 1 {
+			top = 1
+		}
+		sum := 0
+		for _, c := range botCounts[:top] {
+			sum += c
+		}
+		s.BotsInTop5PercentASesFrac = float64(sum) / float64(totalBots)
+	}
+	return s
+}
+
+func sortDesc(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] > xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

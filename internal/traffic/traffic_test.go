@@ -1,0 +1,229 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"floc/internal/netsim"
+	"floc/internal/pathid"
+)
+
+// sinkEP counts delivered packets per flow.
+type sinkEP struct {
+	count map[netsim.FlowID]int
+	times []float64
+}
+
+func newSinkEP() *sinkEP { return &sinkEP{count: map[netsim.FlowID]int{}} }
+
+func (s *sinkEP) Receive(net *netsim.Network, pkt *netsim.Packet) {
+	s.count[pkt.Flow()]++
+	s.times = append(s.times, net.Now())
+}
+
+func hostWithLink(t *testing.T, addr uint32, dst netsim.Endpoint) (*netsim.Host, *netsim.Link) {
+	t.Helper()
+	h := netsim.NewHost("h", addr)
+	l, err := netsim.NewLink("l", 100e6, 0.001, netsim.NewFIFO(100000), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetAccess(l)
+	return h, l
+}
+
+func TestCBRValidation(t *testing.T) {
+	h, _ := hostWithLink(t, 1, newSinkEP())
+	if _, err := NewCBR(h, CBRConfig{RateBits: 0}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewCBR(h, CBRConfig{RateBits: 1e6, Jitter: 1.5}); err == nil {
+		t.Fatal("jitter >= 1 accepted")
+	}
+	if _, err := NewCBR(h, CBRConfig{RateBits: 1e6, Jitter: -0.1}); err == nil {
+		t.Fatal("negative jitter accepted")
+	}
+}
+
+func TestCBRRateAccuracy(t *testing.T) {
+	sink := newSinkEP()
+	h, _ := hostWithLink(t, 1, sink)
+	// 2 Mb/s of 1000-byte (8000-bit) packets = 250 packets/s for 4 s.
+	c, err := NewCBR(h, CBRConfig{
+		Src: 1, Dst: 2, Path: pathid.New(5, 1),
+		RateBits: 2e6, Start: 0, Stop: 4, Attack: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.New(3)
+	c.Start(net)
+	net.Run(10)
+	got := c.Sent()
+	if got < 990 || got > 1010 {
+		t.Fatalf("sent %d packets, want ~1000", got)
+	}
+	if sink.count[netsim.FlowID{Src: 1, Dst: 2}] != got {
+		t.Fatalf("delivered %d != sent %d", sink.count[netsim.FlowID{Src: 1, Dst: 2}], got)
+	}
+}
+
+func TestCBRStopBound(t *testing.T) {
+	sink := newSinkEP()
+	h, _ := hostWithLink(t, 1, sink)
+	c, err := NewCBR(h, CBRConfig{Src: 1, Dst: 2, RateBits: 8e5, Start: 1, Stop: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.New(3)
+	c.Start(net)
+	net.Run(10)
+	for _, tm := range sink.times {
+		if tm < 1.0 || tm > 2.1 {
+			t.Fatalf("packet outside window at %v", tm)
+		}
+	}
+	if c.Sent() == 0 {
+		t.Fatal("nothing sent")
+	}
+}
+
+func TestCBRJitterStillMeetsRate(t *testing.T) {
+	h, _ := hostWithLink(t, 1, newSinkEP())
+	c, err := NewCBR(h, CBRConfig{Src: 1, Dst: 2, RateBits: 1e6, Start: 0, Stop: 5, Jitter: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.New(9)
+	c.Start(net)
+	net.Run(10)
+	// 1 Mb/s / 8000 bits = 125 pkt/s * 5 s = 625; jitter is zero-mean.
+	if got := c.Sent(); got < 560 || got > 690 {
+		t.Fatalf("sent %d, want ~625", got)
+	}
+}
+
+func TestShrewValidation(t *testing.T) {
+	h, _ := hostWithLink(t, 1, newSinkEP())
+	bad := []ShrewConfig{
+		{BurstRateBits: 0, Period: 1, BurstFraction: 0.25},
+		{BurstRateBits: 1e6, Period: 0, BurstFraction: 0.25},
+		{BurstRateBits: 1e6, Period: 1, BurstFraction: 0},
+		{BurstRateBits: 1e6, Period: 1, BurstFraction: 1.1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewShrew(h, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestShrewPulsesOnlyInBurstWindow(t *testing.T) {
+	sink := newSinkEP()
+	h, _ := hostWithLink(t, 1, sink)
+	s, err := NewShrew(h, ShrewConfig{
+		Src: 1, Dst: 2, Path: pathid.New(5, 1),
+		BurstRateBits: 8e6, Period: 1.0, BurstFraction: 0.25,
+		Start: 0, Stop: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.New(4)
+	s.Start(net)
+	net.Run(20)
+	if s.Sent() == 0 {
+		t.Fatal("nothing sent")
+	}
+	for _, tm := range sink.times {
+		// Emission time within each period must fall in the on-phase
+		// (allow the delivery latency of ~1.1ms plus one gap).
+		emit := tm - 0.0011
+		phase := emit - math.Floor(emit)
+		if phase > 0.26 && phase < 0.99 {
+			t.Fatalf("packet emitted off-phase at %v (phase %v)", tm, phase)
+		}
+	}
+	// Mean rate = burst rate * fraction: 8 Mb/s * 0.25 = 2 Mb/s
+	// = 250 pkt/s * 10 s = 2500.
+	if got := s.Sent(); got < 2300 || got > 2700 {
+		t.Fatalf("sent %d, want ~2500", got)
+	}
+}
+
+func TestShrewDutyCycleMeanRate(t *testing.T) {
+	h, _ := hostWithLink(t, 1, newSinkEP())
+	s, err := NewShrew(h, ShrewConfig{
+		Src: 1, Dst: 2, BurstRateBits: 4e6, Period: 0.2, BurstFraction: 0.5,
+		Start: 0, Stop: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.New(4)
+	s.Start(net)
+	net.Run(10)
+	// 4 Mb/s * 0.5 duty = 2 Mb/s avg = 250 pkt/s * 4 s = 1000.
+	if got := s.Sent(); got < 900 || got > 1100 {
+		t.Fatalf("sent %d, want ~1000", got)
+	}
+}
+
+func TestCovert(t *testing.T) {
+	sink := newSinkEP()
+	h, _ := hostWithLink(t, 1, sink)
+	dsts := []uint32{10, 11, 12, 13, 14}
+	c, err := NewCovert(h, CovertConfig{
+		Src: 1, Dsts: dsts, Path: pathid.New(5, 1),
+		PerFlowRateBits: 2e5, Start: 0, Stop: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Flows() != 5 {
+		t.Fatalf("Flows = %d", c.Flows())
+	}
+	net := netsim.New(5)
+	c.Start(net)
+	net.Run(10)
+	// Each flow: 0.2 Mb/s = 25 pkt/s * 5 s = 125.
+	for _, d := range dsts {
+		got := sink.count[netsim.FlowID{Src: 1, Dst: d}]
+		if got < 100 || got > 150 {
+			t.Fatalf("flow to %d delivered %d, want ~125", d, got)
+		}
+	}
+	if c.Sent() < 500 {
+		t.Fatalf("total sent %d", c.Sent())
+	}
+}
+
+func TestCovertValidation(t *testing.T) {
+	h, _ := hostWithLink(t, 1, newSinkEP())
+	if _, err := NewCovert(h, CovertConfig{Src: 1}); err == nil {
+		t.Fatal("no destinations accepted")
+	}
+	if _, err := NewCovert(h, CovertConfig{Src: 1, Dsts: []uint32{2}, PerFlowRateBits: 0}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestAttackLabelPropagates(t *testing.T) {
+	var sawAttack bool
+	collect := &hookEP{fn: func(p *netsim.Packet) { sawAttack = sawAttack || p.Attack }}
+	h, _ := hostWithLink(t, 1, collect)
+	c, err := NewCBR(h, CBRConfig{Src: 1, Dst: 2, RateBits: 1e6, Stop: 0.1, Attack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.New(6)
+	c.Start(net)
+	net.Run(1)
+	if !sawAttack {
+		t.Fatal("attack label lost")
+	}
+}
+
+type hookEP struct{ fn func(*netsim.Packet) }
+
+func (h *hookEP) Receive(_ *netsim.Network, pkt *netsim.Packet) { h.fn(pkt) }
