@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// finding keys diagnostics by (file, line, rule) for comparison against
+// the fixtures' WANT markers.
+type finding struct {
+	file string
+	line int
+	rule string
+}
+
+func (f finding) String() string { return fmt.Sprintf("%s:%d: %s", f.file, f.line, f.rule) }
+
+// wantMarkers scans a fixture directory's Go files for "// WANT <rule>..."
+// markers and returns the expected findings.
+func wantMarkers(t *testing.T, dir string) map[finding]int {
+	t.Helper()
+	want := map[finding]int{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			idx := strings.Index(text, "// WANT ")
+			if idx < 0 {
+				continue
+			}
+			for _, rule := range strings.Fields(text[idx+len("// WANT "):]) {
+				want[finding{file: e.Name(), line: line, rule: rule}]++
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return want
+}
+
+// lintFixture runs the real loader+linter pipeline over one fixture
+// package directory.
+func lintFixture(t *testing.T, dir string) map[finding]int {
+	t.Helper()
+	diags, err := runLint([]string{"./" + dir})
+	if err != nil {
+		t.Fatalf("runLint(%s): %v", dir, err)
+	}
+	got := map[finding]int{}
+	for _, d := range diags {
+		got[finding{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line, rule: d.Rule}]++
+	}
+	return got
+}
+
+// TestSeededViolations checks that every seeded violation is reported at
+// its exact position, and nothing else is.
+func TestSeededViolations(t *testing.T) {
+	for _, fixture := range []string{"timeviol", "floateq", "maporder", "eqguard"} {
+		t.Run(fixture, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", fixture)
+			want := wantMarkers(t, dir)
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no WANT markers", fixture)
+			}
+			got := lintFixture(t, dir)
+			for _, miss := range diffFindings(want, got) {
+				t.Errorf("expected finding not reported: %s", miss)
+			}
+			for _, extra := range diffFindings(got, want) {
+				t.Errorf("unexpected finding: %s", extra)
+			}
+		})
+	}
+}
+
+// TestCleanFixture checks the negative case: a file exercising near-miss
+// patterns of every rule yields zero findings.
+func TestCleanFixture(t *testing.T) {
+	got := lintFixture(t, filepath.Join("testdata", "src", "clean"))
+	if len(got) != 0 {
+		t.Fatalf("clean fixture produced findings: %v", keysOf(got))
+	}
+}
+
+// TestSelfClean lints floclint with itself.
+func TestSelfClean(t *testing.T) {
+	diags, err := runLint([]string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("floclint is not self-clean: %s: %s: %s", d.Pos, d.Rule, d.Msg)
+	}
+}
+
+// TestDiagnosticsSorted checks the output ordering contract: findings are
+// sorted by file, then line, then column.
+func TestDiagnosticsSorted(t *testing.T) {
+	diags, err := runLint([]string{"./" + filepath.Join("testdata", "src", "maporder")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	}) {
+		t.Fatalf("diagnostics not sorted: %v", diags)
+	}
+}
+
+// diffFindings returns the findings present in a but missing (or
+// under-counted) in b, sorted for stable failure output.
+func diffFindings(a, b map[finding]int) []finding {
+	var out []finding
+	for f, n := range a {
+		if b[f] < n {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		if out[i].line != out[j].line {
+			return out[i].line < out[j].line
+		}
+		return out[i].rule < out[j].rule
+	})
+	return out
+}
+
+func keysOf(m map[finding]int) []finding {
+	var out []finding
+	for f := range m {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}

@@ -1,0 +1,199 @@
+// Command floclint is the FLoc repository's custom static analyzer. It
+// enforces repo-specific contracts that go vet and the type system cannot
+// see, all of which protect the determinism and model-bound guarantees the
+// simulations depend on (see DESIGN.md, "Determinism & invariants"):
+//
+//	sim-time   — no wall-clock time (time.Now, time.Since, timers) and no
+//	             math/rand in simulation code; time flows through the sim
+//	             clock and randomness through internal/rng, so runs are
+//	             bit-for-bit reproducible.
+//	float-eq   — no ==/!= between two non-constant floating-point
+//	             expressions; comparisons against constants (sentinels
+//	             like 0) are allowed.
+//	map-order  — no map iteration whose body appends to an outer slice or
+//	             writes output, unless the function sorts afterwards; map
+//	             order is randomized per run and would leak into results.
+//	eq-guard   — functions annotated with a "floc:eq" comment (paper
+//	             equation implementations) must guard their inputs: a
+//	             constant comparison, math.IsNaN/IsInf, or an
+//	             internal/invariant assertion.
+//
+// A finding can be suppressed, with justification, by a trailing or
+// preceding comment: //floclint:allow <rule> [reason].
+//
+// floclint is built on the standard library only (go/ast, go/parser,
+// go/types); package loading shells out to `go list -export` and resolves
+// imports from the build cache's export data.
+//
+// Usage:
+//
+//	go run ./cmd/floclint ./...
+//
+// Exit status is 0 when clean, 1 when findings were reported, 2 on errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: floclint [packages]\n\nFLoc repo-specific static analysis; see package doc for rules.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := runLint(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "floclint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Pos, d.Rule, d.Msg)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// listPkg is the subset of `go list -json` output floclint consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -json -export -deps` over the patterns and
+// decodes the package stream. -export populates each package's build-cache
+// export-data file, which is what lets a stdlib-only tool type-check
+// against compiled dependencies; -deps pulls in the transitive closure so
+// every import can be resolved.
+func goList(patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-json", "-export", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from the export-data files `go list
+// -export` reported, via the stdlib gc importer's lookup hook.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// runLint loads, type-checks, and lints every package matching the
+// patterns (dependencies are loaded but not linted), returning findings
+// sorted by position.
+func runLint(patterns []string) ([]Diagnostic, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listPkg
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var all []Diagnostic
+	for _, p := range targets {
+		diags, err := lintOne(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return all, nil
+}
+
+// lintOne parses and type-checks one package and runs the rules over it.
+// Only non-test Go files are linted: tests are free to use wall-clock
+// time, and the determinism contract covers simulation code only.
+func lintOne(fset *token.FileSet, imp types.Importer, p *listPkg) ([]Diagnostic, error) {
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	if _, err := conf.Check(p.ImportPath, fset, files, info); err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return lintPackage(fset, files, info), nil
+}

@@ -1,0 +1,57 @@
+// Package clean exercises near-miss patterns of every floclint rule
+// without violating any of them; the negative test asserts zero findings.
+package clean
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Conformance is a named float used in sanctioned comparisons.
+type Conformance float64
+
+// Classify compares only against constants.
+func Classify(e Conformance) string {
+	if e == 0 {
+		return "dead"
+	}
+	if e < 0.5 {
+		return "attack"
+	}
+	return "legit"
+}
+
+// Close uses an epsilon instead of float equality.
+func Close(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12
+}
+
+// Render iterates a map in sorted key order and emits deterministically.
+func Render(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%.3f\n", k, m[k])
+	}
+	return b.String()
+}
+
+// Mean is a guarded equation implementation.
+//
+// floc:eq IX.0 (test fixture)
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

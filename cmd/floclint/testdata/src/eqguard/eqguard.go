@@ -1,0 +1,39 @@
+// Package eqguard seeds violations of the eq-guard rule: paper-equation
+// functions (floc:eq annotation) without input guards.
+package eqguard
+
+import "math"
+
+// Unguarded multiplies blindly: NaN, Inf, and negative inputs flow
+// straight through.
+//
+// floc:eq IX.1 (test fixture)
+func Unguarded(w, rtt float64) float64 { // WANT eq-guard
+	return w / 2 * rtt
+}
+
+// ConstGuarded rejects non-positive input before computing.
+//
+// floc:eq IX.2 (test fixture)
+func ConstGuarded(w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	return 8 / (3 * w * (w + 2))
+}
+
+// NaNGuarded screens non-finite input explicitly.
+//
+// floc:eq IX.3 (test fixture)
+func NaNGuarded(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x * x
+}
+
+// Unannotated has no floc:eq directive, so the rule leaves it alone even
+// without guards.
+func Unannotated(w, rtt float64) float64 {
+	return w / 2 * rtt
+}

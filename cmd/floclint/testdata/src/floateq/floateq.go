@@ -1,0 +1,46 @@
+// Package floateq seeds violations of the float-eq rule: ==/!= between
+// non-constant floating-point expressions.
+package floateq
+
+import "math"
+
+// Rate is a named float type; comparisons through it must still be caught.
+type Rate float64
+
+// Equal compares two floats exactly.
+func Equal(a, b float64) bool {
+	return a == b // WANT float-eq
+}
+
+// Changed compares two named-type floats exactly.
+func Changed(a, b Rate) bool {
+	return a != b // WANT float-eq
+}
+
+// TieBreak is the sort-comparator idiom the rule exists to catch.
+func TieBreak(x, y, kx, ky float64) bool {
+	if x != y { // WANT float-eq
+		return x < y
+	}
+	return kx < ky
+}
+
+// SentinelOK compares against constants — allowed.
+func SentinelOK(a float64) bool {
+	return a == 0 || a != 1.5 || a == math.Pi
+}
+
+// EpsilonOK is the sanctioned pattern.
+func EpsilonOK(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// Suppressed carries a justified allow directive and must not be reported.
+func Suppressed(a, b float64) bool {
+	return a == b //floclint:allow float-eq exact bit-pattern comparison intended
+}
+
+// IntsOK compares integers — not the rule's business.
+func IntsOK(a, b int) bool {
+	return a == b
+}

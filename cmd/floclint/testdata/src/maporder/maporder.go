@@ -1,0 +1,76 @@
+// Package maporder seeds violations of the map-order rule: map iteration
+// order leaking into slices or output.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LeakKeys accumulates map keys in iteration order and never sorts.
+func LeakKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // WANT map-order
+	}
+	return out
+}
+
+// PrintLeak emits output in map iteration order.
+func PrintLeak(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // WANT map-order
+	}
+}
+
+// BuildLeak accumulates a string in map iteration order.
+func BuildLeak(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // WANT map-order
+	}
+	return b.String()
+}
+
+// SortedAfter collects then sorts — the sanctioned idiom, not flagged.
+func SortedAfter(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LocalAppend appends only to a loop-local slice — per-iteration state,
+// no cross-iteration order, not flagged.
+func LocalAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, v*2)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+// MapWrite writes into another map — order-independent, not flagged.
+func MapWrite(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+// SliceRange iterates a slice, not a map — not flagged.
+func SliceRange(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

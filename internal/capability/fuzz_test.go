@@ -1,0 +1,100 @@
+package capability
+
+import (
+	"testing"
+
+	"floc/internal/pathid"
+)
+
+// FuzzCapability drives issuance and verification of the two-part flow
+// capability (C0, C1) with arbitrary secrets, fan-out limits, flow
+// endpoints, and paths, checking the verification contract: issued
+// capabilities verify, any tampered part fails, slots stay in [0, nmax),
+// and the accountant's slot bookkeeping balances.
+func FuzzCapability(f *testing.F) {
+	f.Add([]byte("router-secret"), 4, uint32(0x0a000001), uint32(0x0a000002), []byte{1, 2, 3}, uint64(1))
+	f.Add([]byte{0}, 1, uint32(0), uint32(0), []byte{}, uint64(0))
+	f.Add([]byte("k"), 64, uint32(1), uint32(2), []byte{9, 9, 9, 9, 9, 9, 9, 9}, uint64(0xffffffffffffffff))
+	f.Fuzz(func(t *testing.T, secret []byte, nmax int, src, dst uint32, rawPath []byte, tamper uint64) {
+		if len(secret) == 0 {
+			secret = []byte{0xff}
+		}
+		nmax = nmax % 256
+		if nmax < 1 {
+			nmax = 1
+		}
+		is, err := NewIssuer(secret, nmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asns := make([]pathid.ASN, 0, 8)
+		for i := 0; i < len(rawPath) && i < 8; i++ {
+			asns = append(asns, pathid.ASN(rawPath[i])+1)
+		}
+		path := pathid.New(asns...)
+
+		c := is.Issue(src, dst, path)
+		if c.Slot < 0 || c.Slot >= nmax {
+			t.Fatalf("slot %d outside [0, %d)", c.Slot, nmax)
+		}
+		if !is.Verify(c, src, dst, path) {
+			t.Fatal("issued capability failed verification")
+		}
+		if c2 := is.Issue(src, dst, path); c2 != c {
+			t.Fatalf("issuance not deterministic: %+v vs %+v", c2, c)
+		}
+
+		// Tampering with either hash part must break verification.
+		if tamper != 0 {
+			bad := c
+			bad.C0 ^= tamper
+			if is.Verify(bad, src, dst, path) {
+				t.Fatal("tampered C0 verified")
+			}
+			bad = c
+			bad.C1 ^= tamper
+			if is.Verify(bad, src, dst, path) {
+				t.Fatal("tampered C1 verified")
+			}
+		}
+
+		// A router holding a different secret must reject the capability.
+		other := append(append([]byte{}, secret...), 'x')
+		is2, err := NewIssuer(other, nmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if is2.Verify(c, src, dst, path) {
+			t.Fatal("capability verified under a different router secret")
+		}
+
+		// Accountant slot bookkeeping: opens accumulate in one slot,
+		// active slots never exceed nmax, closes drain back to zero.
+		acct := NewAccountant(nmax)
+		if n := acct.Open(src, c); n != 1 {
+			t.Fatalf("first open: slot flows = %d, want 1", n)
+		}
+		if n := acct.Open(src, c); n != 2 {
+			t.Fatalf("second open: slot flows = %d, want 2", n)
+		}
+		if got := acct.ActiveSlots(src); got < 1 || got > nmax {
+			t.Fatalf("active slots %d outside [1, %d]", got, nmax)
+		}
+		if got := acct.SlotFlows(src, c.Slot); got != 2 {
+			t.Fatalf("slot flows = %d, want 2", got)
+		}
+		acct.Close(src, c)
+		acct.Close(src, c)
+		if got := acct.ActiveSlots(src); got != 0 {
+			t.Fatalf("active slots %d after closing all flows, want 0", got)
+		}
+		if got := acct.Sources(); got != 0 {
+			t.Fatalf("sources %d after closing all flows, want 0", got)
+		}
+		// Closing more than was opened must not underflow.
+		acct.Close(src, c)
+		if got := acct.SlotFlows(src, c.Slot); got != 0 {
+			t.Fatalf("slot flows %d after excess close, want 0", got)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"floc/internal/invariant"
 	"floc/internal/pathid"
 	"floc/internal/tokenbucket"
 )
@@ -104,8 +105,11 @@ func (r *Router) planAttackAggregation(plan map[string][]*pathState, kind map[st
 		}
 		sort.Slice(cands, func(i, j int) bool {
 			a, b := cands[i], cands[j]
-			if a.cost != b.cost {
-				return a.cost < b.cost
+			if a.cost < b.cost {
+				return true
+			}
+			if b.cost < a.cost {
+				return false
 			}
 			da, db := a.node.Depth(), b.node.Depth()
 			if da != db {
@@ -177,6 +181,8 @@ func (r *Router) planLegitAggregation(plan map[string][]*pathState, kind map[str
 
 // legitAggregationBeneficial checks Eq. (IV.8) and the bandwidth-increase
 // guard for a prospective legitimate aggregate.
+//
+// floc:eq IV.8
 func (r *Router) legitAggregationBeneficial(members []*pathState) bool {
 	k := float64(len(members))
 	sumE, sumN, sumEN := 0.0, 0.0, 0.0
@@ -252,6 +258,9 @@ func (r *Router) applyPlan(plan map[string][]*pathState, kind map[string]aggKind
 		if sumN > 0 {
 			agg.conformance = sumEN / sumN
 		}
+		// A flow-weighted mean of member conformances is itself a
+		// conformance (Eq. IV.7 / IV.8 operate on [0, 1] values).
+		invariant.Conformance01("core.agg.conformance", agg.conformance)
 		r.aggs[key] = agg
 	}
 }

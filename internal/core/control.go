@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"floc/internal/invariant"
 	"floc/internal/stats"
 	"floc/internal/tcpmodel"
 )
@@ -59,6 +60,8 @@ func (r *Router) expireFlows(now float64) {
 
 // updateConformance counts attack flows per origin path via the drop
 // filter and advances the conformance EWMA (Eq. IV.6).
+//
+// floc:eq IV.6
 func (r *Router) updateConformance(now float64) {
 	for _, ps := range r.origins {
 		eff := ps.effective()
@@ -81,6 +84,10 @@ func (r *Router) updateConformance(now float64) {
 			sample := 1 - float64(attack)/float64(n)
 			ps.conformance = r.cfg.Beta*sample + (1-r.cfg.Beta)*ps.conformance
 		}
+		// The conformance EWMA (Eq. IV.6) is a convex combination of values
+		// in [0, 1]; leaving that interval means the measurement drifted out
+		// of the modeled state space.
+		invariant.Conformance01("core.conformance", ps.conformance)
 		if ps.leaf != nil {
 			ps.leaf.Conformance = ps.conformance
 			ps.leaf.Flows = n
@@ -164,6 +171,7 @@ func (r *Router) recomputeParams(now, interval float64) {
 		}
 
 		alloc := linkPkts * float64(ps.shares) / float64(totalShares)
+		invariant.NonNegative("core.alloc", alloc)
 		ps.alloc = alloc
 
 		n := ps.flowCount()
@@ -174,8 +182,17 @@ func (r *Router) recomputeParams(now, interval float64) {
 			n = 1
 		}
 		rtt := r.rttOf(ps)
+		invariant.Positive("core.rtt", rtt)
 		params, err := tcpmodel.Compute(alloc, n, rtt)
 		if err == nil {
+			// The reference mean-time-to-drop n_i*T_Si and the bucket
+			// parameters derived from Eqs. IV.1-IV.3 are all positive
+			// quantities for positive inputs.
+			invariant.NonNegative("core.mtd", params.RefMTD)
+			invariant.Positive("core.period", params.Period)
+			invariant.Positive("core.bucket", params.Bucket)
+			invariant.True("core.burst",
+				params.BucketBurst >= params.Bucket)
 			ps.params = params
 			size := params.BucketBurst
 			if ps.bucketFlood {
@@ -219,6 +236,7 @@ func (r *Router) recomputeParams(now, interval float64) {
 	if qmax < r.qmin+4 {
 		qmax = r.qmin + 4
 	}
+	invariant.True("core.qmax", qmax >= r.qmin && !math.IsNaN(qmax))
 	r.qmax = qmax
 }
 

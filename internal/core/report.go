@@ -92,8 +92,13 @@ func (s Snapshot) String() string {
 			flag, p.Key, p.Conformance, p.Flows, p.AttackFlows,
 			p.AllocPackets, p.Period*1000, p.RTT*1000, agg)
 	}
-	for key, members := range s.Aggregates {
-		fmt.Fprintf(&b, "  aggregate %s: %s\n", key, strings.Join(members, ", "))
+	aggKeys := make([]string, 0, len(s.Aggregates))
+	for key := range s.Aggregates {
+		aggKeys = append(aggKeys, key)
+	}
+	sort.Strings(aggKeys)
+	for _, key := range aggKeys {
+		fmt.Fprintf(&b, "  aggregate %s: %s\n", key, strings.Join(s.Aggregates[key], ", "))
 	}
 	return b.String()
 }

@@ -5,6 +5,7 @@ import (
 
 	"floc/internal/capability"
 	"floc/internal/dropfilter"
+	"floc/internal/invariant"
 	"floc/internal/netsim"
 	"floc/internal/pathid"
 	"floc/internal/rng"
@@ -350,6 +351,9 @@ func (r *Router) Enqueue(pkt *netsim.Packet, now float64) bool {
 	}
 
 	tokens := float64(pkt.Size) / float64(r.cfg.PacketSize)
+	if invariant.Hot {
+		invariant.Positive("core.pkt.tokens", tokens)
+	}
 	eff.arrivedTokens += tokens
 	if pkt.Kind == netsim.KindData || pkt.Kind == netsim.KindUDP {
 		fs.arrived += tokens
@@ -477,6 +481,11 @@ func (r *Router) preferentialDrop(pkt *netsim.Packet, orig, eff *pathState, fs *
 			}
 		}
 	}
+	if invariant.Hot {
+		// The combined preferential drop probability (Eq. IV.5 / V.1 plus
+		// the fair-share bound) must remain a probability.
+		invariant.Conformance01("core.prefdrop", p)
+	}
 	if p > 0 && r.rng.Float64() < p {
 		r.drop(pkt, orig, eff, fs, now, DropPreferential)
 		return true
@@ -495,6 +504,9 @@ func (r *Router) fairShare(eff *pathState) float64 {
 	fair := eff.alloc / float64(n)
 	if rtt := r.rttOf(eff); rtt > 0 && fair < 1/rtt {
 		fair = 1 / rtt
+	}
+	if invariant.Hot {
+		invariant.NonNegative("core.fairshare", fair)
 	}
 	return fair
 }

@@ -233,8 +233,11 @@ func (p *Pushback) computeLimits() {
 		return
 	}
 	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].rate != entries[j].rate {
-			return entries[i].rate > entries[j].rate
+		if entries[i].rate > entries[j].rate {
+			return true
+		}
+		if entries[j].rate > entries[i].rate {
+			return false
 		}
 		return entries[i].key < entries[j].key
 	})

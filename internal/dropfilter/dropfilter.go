@@ -21,6 +21,8 @@ package dropfilter
 import (
 	"fmt"
 	"math"
+
+	"floc/internal/invariant"
 )
 
 // Config parameterizes a Filter.
@@ -221,6 +223,16 @@ func (f *Filter) RecordDrop(h uint64, now, epoch float64, k int, weight uint32) 
 		}
 		r.d = d
 		r.tl = nowTicks
+		if invariant.Hot {
+			// Saturation bounds of the Section V-B record encoding: t_s and
+			// d must never exceed their field capacity, and a live record
+			// always has ts >= 1 (the creation epoch).
+			invariant.True("dropfilter.record.saturation",
+				r.d <= f.cfg.DMax && r.ts <= f.cfg.TSMax && r.ts >= 1)
+		}
+	}
+	if invariant.Hot {
+		invariant.True("dropfilter.live", f.live >= 0 && f.live <= f.cfg.Arrays<<f.cfg.Bits)
 	}
 }
 
@@ -234,6 +246,8 @@ type State struct {
 
 // Excess returns P_e, the flow's estimated excess send-rate factor
 // (extra drops per congestion epoch).
+//
+// floc:eq V-B.2 (P_e = d/t_s)
 func (s State) Excess() float64 {
 	if s.TS == 0 {
 		return 0
@@ -251,6 +265,8 @@ func (s State) Excess() float64 {
 // pinned at its fair share. This matches both numeric examples in the
 // paper: t_s=16, d=1 gives P_e = 1/16 = 6.25% and P_pd = 1/17 = 5.88%;
 // a 64x flow saturating d at 63 with t_s=1 gives P_pd = 63/64 = 0.984.
+//
+// floc:eq V.1 (P_pd = d/(t_s+d))
 func (s State) PrefDropProb() float64 {
 	if s.D == 0 {
 		return 0
@@ -281,6 +297,15 @@ func (f *Filter) Query(h uint64, now, epoch float64, k int) State {
 	}
 	if best.D == math.MaxUint32 {
 		return State{}
+	}
+	if invariant.Hot {
+		// The conservative read must respect the same saturation bounds as
+		// the stored records, and the derived preferential drop ratio
+		// (Eq. V.1) must be a probability.
+		invariant.True("dropfilter.query.saturation",
+			best.D <= f.cfg.DMax && best.TS <= f.cfg.TSMax)
+		invariant.Conformance01("dropfilter.prefdrop", best.PrefDropProb())
+		invariant.NonNegative("dropfilter.excess", best.Excess())
 	}
 	return best
 }
@@ -325,6 +350,8 @@ func (f *Filter) Reset() {
 // recorded in arrays of 2^bits slots (paper Section V-B.5):
 //
 //	P_fp = (1 - e^(-n/2^bits))^k
+//
+// floc:eq V-B.5 (false-positive rate)
 func FalsePositiveRate(n int, bits, k int) float64 {
 	if k < 1 || bits < 1 || n <= 0 {
 		return 0

@@ -9,6 +9,18 @@ import (
 // sources per leaf, 6 bots per attack leaf.
 const testScale = 0.1
 
+// skipIfShort marks a test that runs a full (multi-second) simulation.
+// The race gate in scripts/check.sh uses -short because race
+// instrumentation slows these runs ~15x, blowing the package timeout;
+// the simulations themselves are single-threaded, so they add no race
+// coverage beyond what the fast tests already exercise.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full simulation run; skipped in -short mode")
+	}
+}
+
 func shortScenario(def DefenseKind, atk AttackKind) Scenario {
 	sc := DefaultScenario(def, atk, testScale)
 	sc.Duration = 30
@@ -39,6 +51,7 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestNoAttackBaselineHealthy(t *testing.T) {
+	skipIfShort(t)
 	m, err := Run(shortScenario(DefRED, AttackNone))
 	if err != nil {
 		t.Fatal(err)
@@ -61,6 +74,7 @@ func TestNoAttackBaselineHealthy(t *testing.T) {
 }
 
 func TestFLocConfinesCBRAttack(t *testing.T) {
+	skipIfShort(t)
 	floc, err := Run(shortScenario(DefFLoc, AttackCBR))
 	if err != nil {
 		t.Fatal(err)
@@ -89,6 +103,7 @@ func TestFLocConfinesCBRAttack(t *testing.T) {
 }
 
 func TestFLocDifferentialGuaranteesWithinAttackPaths(t *testing.T) {
+	skipIfShort(t)
 	m, err := Run(shortScenario(DefFLoc, AttackCBR))
 	if err != nil {
 		t.Fatal(err)
@@ -110,6 +125,7 @@ func TestFLocDifferentialGuaranteesWithinAttackPaths(t *testing.T) {
 }
 
 func TestFLocAttackPathsFlagged(t *testing.T) {
+	skipIfShort(t)
 	m, err := Run(shortScenario(DefFLoc, AttackCBR))
 	if err != nil {
 		t.Fatal(err)
@@ -138,6 +154,7 @@ func TestFLocAttackPathsFlagged(t *testing.T) {
 }
 
 func TestFLocShrewHandledLikeCBR(t *testing.T) {
+	skipIfShort(t)
 	shrew, err := Run(shortScenario(DefFLoc, AttackShrew))
 	if err != nil {
 		t.Fatal(err)
@@ -150,6 +167,7 @@ func TestFLocShrewHandledLikeCBR(t *testing.T) {
 }
 
 func TestFLocHighPopulationTCPEqualPaths(t *testing.T) {
+	skipIfShort(t)
 	m, err := Run(shortScenario(DefFLoc, AttackTCPPop))
 	if err != nil {
 		t.Fatal(err)
@@ -180,6 +198,7 @@ func TestFLocHighPopulationTCPEqualPaths(t *testing.T) {
 }
 
 func TestFLocAggregationUnderSMax(t *testing.T) {
+	skipIfShort(t)
 	sc := shortScenario(DefFLoc, AttackCBR)
 	sc.SMax = 25
 	m, err := Run(sc)
@@ -204,6 +223,7 @@ func TestFLocAggregationUnderSMax(t *testing.T) {
 }
 
 func TestCovertAttackCountermeasure(t *testing.T) {
+	skipIfShort(t)
 	// Fanout 8 at 0.2 Mb/s per flow: each source sends 1.6 Mb/s spread
 	// over 8 "legitimate-looking" flows.
 	base := shortScenario(DefFLoc, AttackCovert)
@@ -252,6 +272,7 @@ func TestFig4ModelTable(t *testing.T) {
 }
 
 func TestFig2And3Smoke(t *testing.T) {
+	skipIfShort(t)
 	t2, err := Fig2(0.05, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -385,6 +406,7 @@ func TestFigTopologySmoke(t *testing.T) {
 }
 
 func TestAblationFlagsPlumbed(t *testing.T) {
+	skipIfShort(t)
 	sc := shortScenario(DefFLoc, AttackCBR)
 	sc.NoPreferentialDrop = true
 	sc.NoEscalation = true
@@ -403,6 +425,7 @@ func TestAblationFlagsPlumbed(t *testing.T) {
 }
 
 func TestPushbackUpstreamPropagation(t *testing.T) {
+	skipIfShort(t)
 	local := shortScenario(DefPushback, AttackCBR)
 	lm, err := Run(local)
 	if err != nil {
@@ -429,6 +452,7 @@ func TestPushbackUpstreamPropagation(t *testing.T) {
 }
 
 func TestTimedAttacksHandled(t *testing.T) {
+	skipIfShort(t)
 	// FLoc's MTD-based identification keys on behaviour, not sustained
 	// volume, so timed attacks must not do materially better against it
 	// than the steady CBR attack.
@@ -449,6 +473,7 @@ func TestTimedAttacksHandled(t *testing.T) {
 }
 
 func TestReplicate(t *testing.T) {
+	skipIfShort(t)
 	sc := shortScenario(DefFLoc, AttackCBR)
 	sc.Duration = 15
 	sc.MeasureFrom = 5
@@ -484,6 +509,7 @@ func TestTableJSON(t *testing.T) {
 }
 
 func TestScalableModePreservesConfinement(t *testing.T) {
+	skipIfShort(t)
 	// The Section V-B efficient design must preserve the headline
 	// confinement result within a modest margin of the exact mode.
 	exact, err := Run(shortScenario(DefFLoc, AttackCBR))
@@ -506,6 +532,7 @@ func TestScalableModePreservesConfinement(t *testing.T) {
 }
 
 func TestFLocNoAttackFairnessComparableToRED(t *testing.T) {
+	skipIfShort(t)
 	// Paper Fig. 7: "FLoc provides per-flow fairness comparable to that
 	// of the RED queue in the normal (no-attack) case".
 	red, err := Run(shortScenario(DefRED, AttackNone))
@@ -531,6 +558,7 @@ func TestFLocNoAttackFairnessComparableToRED(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
+	skipIfShort(t)
 	sc := shortScenario(DefFLoc, AttackCBR)
 	sc.Duration = 15
 	sc.MeasureFrom = 5

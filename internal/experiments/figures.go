@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 
 	"floc/internal/stats"
@@ -174,6 +175,10 @@ func Fig6(kind AttackKind, scale float64, seed uint64) (*Table, *Measurement, er
 			legitKeys = append(legitKeys, key)
 		}
 	}
+	// Map order would otherwise set the float summation order inside
+	// MeanPathSeries, perturbing regenerated results at the ulp level.
+	sort.Strings(legitKeys)
+	sort.Strings(attackKeys)
 	secs := int(sc.Duration)
 	legitSeries := m.MeanPathSeries(legitKeys, secs)
 	attackSeries := m.MeanPathSeries(attackKeys, secs)

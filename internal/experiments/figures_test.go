@@ -15,6 +15,7 @@ func shortenFigures(t *testing.T) {
 }
 
 func TestFig6Smoke(t *testing.T) {
+	skipIfShort(t)
 	shortenFigures(t)
 	for _, kind := range []AttackKind{AttackTCPPop, AttackCBR, AttackShrew} {
 		tab, m, err := Fig6(kind, 0.05, 3)
@@ -34,6 +35,7 @@ func TestFig6Smoke(t *testing.T) {
 }
 
 func TestFig7Smoke(t *testing.T) {
+	skipIfShort(t)
 	shortenFigures(t)
 	tab, err := Fig7(0.05, []float64{2e6}, 3)
 	if err != nil {
@@ -54,6 +56,7 @@ func TestFig7Smoke(t *testing.T) {
 }
 
 func TestFig8Smoke(t *testing.T) {
+	skipIfShort(t)
 	shortenFigures(t)
 	tab, err := Fig8(0.05, []float64{2e6}, 3)
 	if err != nil {
@@ -78,6 +81,7 @@ func TestFig8Smoke(t *testing.T) {
 }
 
 func TestFig9Smoke(t *testing.T) {
+	skipIfShort(t)
 	shortenFigures(t)
 	tab, err := Fig9(0.05, 3)
 	if err != nil {
@@ -100,6 +104,7 @@ func TestFig9Smoke(t *testing.T) {
 }
 
 func TestFig10Smoke(t *testing.T) {
+	skipIfShort(t)
 	shortenFigures(t)
 	tab, err := Fig10(0.05, []int{4}, 3)
 	if err != nil {
@@ -111,6 +116,7 @@ func TestFig10Smoke(t *testing.T) {
 }
 
 func TestFigTimedSmoke(t *testing.T) {
+	skipIfShort(t)
 	shortenFigures(t)
 	tab, err := FigTimed(0.05, 3)
 	if err != nil {
@@ -122,6 +128,7 @@ func TestFigTimedSmoke(t *testing.T) {
 }
 
 func TestFigDeploymentSmoke(t *testing.T) {
+	skipIfShort(t)
 	shortenFigures(t)
 	tab, err := FigDeployment(0.05, []float64{0.5, 1.0}, 3)
 	if err != nil {
@@ -139,6 +146,7 @@ func TestFigDeploymentSmoke(t *testing.T) {
 }
 
 func TestDeploymentMonotoneBenefit(t *testing.T) {
+	skipIfShort(t)
 	// More marking must not make legitimate traffic materially worse;
 	// full deployment should clearly beat sparse deployment under attack.
 	shortenFigures(t)

@@ -1,0 +1,7 @@
+//go:build !flocinvariants
+
+package invariant
+
+// Hot is false in builds without the "flocinvariants" tag: hot-path
+// assertions behind `if invariant.Hot` are eliminated at compile time.
+const Hot = false

@@ -1,0 +1,8 @@
+//go:build flocinvariants
+
+package invariant
+
+// Hot enables the per-packet hot-path assertions. It is true only in
+// builds tagged "flocinvariants"; call sites guard with
+// `if invariant.Hot { ... }` so untagged builds compile the checks out.
+const Hot = true

@@ -5,6 +5,49 @@ import "testing"
 // FuzzTreeOps inserts and removes arbitrary paths and checks structural
 // invariants: leaves reconstruct to their inserted identifiers, and
 // removal prunes without breaking other paths.
+// FuzzParseKey drives Parse with arbitrary strings and checks the
+// Key/Parse roundtrip contract in both directions: a successful parse
+// reproduces its input exactly via Key, parses never panic, and every
+// parsed path is insertable into a tree and reconstructible from its
+// leaf.
+func FuzzParseKey(f *testing.F) {
+	f.Add("64-7-1")
+	f.Add("0")
+	f.Add("4294967295")
+	f.Add("1-2-3-4-5-6-7-8")
+	f.Add("")
+	f.Add("a-b")
+	f.Add("1--2")
+	f.Add("01")
+	f.Add("+1")
+	f.Add("-1")
+	f.Add("4294967296")
+	f.Fuzz(func(t *testing.T, key string) {
+		p, err := Parse(key)
+		if err != nil {
+			return // invalid inputs only need to be rejected cleanly
+		}
+		if len(p) == 0 {
+			t.Fatalf("Parse(%q) succeeded with an empty path", key)
+		}
+		if got := p.Key(); got != key {
+			t.Fatalf("Parse(%q).Key() = %q, want the input back", key, got)
+		}
+		back, err := Parse(p.Key())
+		if err != nil || !back.Equal(p) {
+			t.Fatalf("re-parsing %q gave %v, %v", p.Key(), back, err)
+		}
+		tr := NewTree(0)
+		leaf, err := tr.Insert(p)
+		if err != nil {
+			t.Fatalf("inserting parsed path %v: %v", p, err)
+		}
+		if !leaf.Path().Equal(p) {
+			t.Fatalf("leaf reconstructs to %v, want %v", leaf.Path(), p)
+		}
+	})
+}
+
 func FuzzTreeOps(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint8(2))
 	f.Add([]byte{9, 9, 9}, uint8(0))

@@ -61,6 +61,29 @@ func (p PathID) Key() string {
 // String implements fmt.Stringer.
 func (p PathID) String() string { return "S[" + p.Key() + "]" }
 
+// Parse parses the canonical Key form ("64-7-1") back into a PathID. It
+// is the strict inverse of Key: it accepts exactly the strings Key
+// produces for non-empty paths (decimal AS numbers without leading
+// zeros, joined by '-'), so Parse(p.Key()) == p and parsed.Key() == s.
+func Parse(s string) (PathID, error) {
+	if s == "" {
+		return nil, fmt.Errorf("pathid: empty path key")
+	}
+	parts := strings.Split(s, "-")
+	p := make(PathID, len(parts))
+	for i, part := range parts {
+		if part != "0" && strings.HasPrefix(part, "0") {
+			return nil, fmt.Errorf("pathid: non-canonical AS number %q in key %q", part, s)
+		}
+		v, err := strconv.ParseUint(part, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("pathid: bad AS number %q in key %q", part, s)
+		}
+		p[i] = ASN(v)
+	}
+	return p, nil
+}
+
 // Equal reports whether two path identifiers are identical.
 func (p PathID) Equal(q PathID) bool {
 	if len(p) != len(q) {
@@ -174,6 +197,8 @@ func (n *Node) walk(visit func(*Node)) {
 // MeanLeafConformance returns the average Conformance of the subtree's
 // leaves — the aggregation cost C^A(R_i) of paper Eq. (IV.7) — and the
 // number of leaves. It returns (0, 0) for a childless inner node.
+//
+// floc:eq IV.7
 func (n *Node) MeanLeafConformance() (mean float64, leaves int) {
 	ls := n.Leaves()
 	if len(ls) == 0 {

@@ -25,13 +25,20 @@ const Epsilon = 3.4641016151377544 // sqrt(12)
 //
 // The model (paper Fig. 4) treats the window as uniform on [W/2, W], so the
 // average window is (3/4)W and bw = (3/4)*W/RTT, giving W = 4*bw*RTT/3.
+//
+// floc:eq IV-A (W = 4*c*RTT/3)
 func PeakWindow(bw, rtt float64) float64 {
+	if bw <= 0 || rtt <= 0 {
+		return 0
+	}
 	return 4 * bw * rtt / 3
 }
 
 // FlowBandwidth is the inverse of PeakWindow: the throughput in packets/s
 // of a persistent TCP flow with peak window w packets and round-trip time
 // rtt seconds.
+//
+// floc:eq IV-A (c = 3*W/(4*RTT))
 func FlowBandwidth(w, rtt float64) float64 {
 	if rtt <= 0 {
 		return 0
@@ -68,6 +75,8 @@ type Params struct {
 // uniform-[W/2, W] flows: (W/(4*sqrt(3)))*sqrt(n) / (n*(3/4)*W) =
 // 1/(3*sqrt(3*n))... i.e. cv = 1/(sqrt(3*n) * ... ) — computed exactly
 // below from the two moments rather than a collapsed constant.
+//
+// floc:eq IV.1 IV.2 IV.3
 func Compute(c float64, n int, rtt float64) (Params, error) {
 	if c <= 0 {
 		return Params{}, fmt.Errorf("tcpmodel: non-positive bandwidth %v", c)
@@ -113,6 +122,8 @@ func SyncBucketFactor() float64 { return 4.0 / 3.0 }
 //
 // One drop per congestion epoch over the (3/8)W(W+2) packets sent while
 // the window climbs from W/2 to W.
+//
+// floc:eq V-B.1 (gamma = 8/(3*W*(W+2)))
 func DropRatio(w float64) float64 {
 	if w <= 0 {
 		return 1
@@ -123,6 +134,8 @@ func DropRatio(w float64) float64 {
 // WindowFromDropRatio inverts DropRatio: given an observed drop ratio
 // gamma, it returns the implied steady-state peak window (the positive root
 // of 3*gamma*W^2 + 6*gamma*W - 8 = 0).
+//
+// floc:eq V-B.1 (inverse)
 func WindowFromDropRatio(gamma float64) float64 {
 	if gamma <= 0 {
 		return math.Inf(1)
@@ -142,7 +155,12 @@ const smallestWindow = 1
 
 // DropRate returns delta_Si, the packet drop rate (drops/s) of a path
 // aggregate with request rate lambda packets/s and drop ratio gamma.
+//
+// floc:eq V-B.1 (delta = lambda*gamma)
 func DropRate(lambda, gamma float64) float64 {
+	if lambda <= 0 || gamma <= 0 {
+		return 0
+	}
 	return lambda * gamma
 }
 
@@ -151,6 +169,8 @@ func DropRate(lambda, gamma float64) float64 {
 // window w inferred from the observed drop ratio: n = 4*c*rtt/(3*W).
 // This is the router's scalable flow-counting primitive (Section V-B.1):
 // it requires only the aggregate drop ratio, not per-flow state.
+//
+// floc:eq V-B.1 (n = 4*c*RTT/(3*W))
 func EstimateFlows(c, rtt, w float64) float64 {
 	if w <= 0 {
 		return 0
@@ -159,8 +179,15 @@ func EstimateFlows(c, rtt, w float64) float64 {
 }
 
 // MTD returns the mean time to drop of a flow with peak window w and
-// round-trip time rtt: (W/2)*RTT (one drop per half-window of RTTs).
+// round-trip time rtt: (W/2)*RTT (one drop per half-window of RTTs). An
+// MTD is a duration: non-positive or non-finite inputs yield 0, never a
+// negative time.
+//
+// floc:eq IV-B (MTD = W/2 * RTT)
 func MTD(w, rtt float64) float64 {
+	if w <= 0 || rtt <= 0 {
+		return 0
+	}
 	return w / 2 * rtt
 }
 

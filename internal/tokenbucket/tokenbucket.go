@@ -10,7 +10,11 @@
 // under the ideal unsynchronized model.
 package tokenbucket
 
-import "fmt"
+import (
+	"fmt"
+
+	"floc/internal/invariant"
+)
 
 // Bucket is a periodic token bucket. It is not safe for concurrent use.
 type Bucket struct {
@@ -27,6 +31,7 @@ type Bucket struct {
 
 	// Cumulative counters since creation or last ResetStats.
 	totalRequested float64
+	totalGranted   float64
 	totalDenied    float64
 	totalPeriods   int
 }
@@ -82,6 +87,10 @@ func (b *Bucket) advance(now float64) {
 	}
 	periods := int(elapsed / b.period)
 	b.periodStart += float64(periods) * b.period
+	// Once per period rollover: the bucket must leave the old period with
+	// a sane ledger before refilling.
+	invariant.NonNegative("tokenbucket.tokens", b.tokens)
+	invariant.InRange("tokenbucket.tokens", b.tokens, 0, b.size)
 	b.tokens = b.size // unused tokens of previous periods are discarded
 	b.totalPeriods += periods
 	b.requested = 0
@@ -95,13 +104,22 @@ func (b *Bucket) Take(now, n float64) bool {
 	b.advance(now)
 	b.requested += n
 	b.totalRequested += n
-	if b.tokens >= n {
+	granted := b.tokens >= n
+	if granted {
 		b.tokens -= n
-		return true
+		b.totalGranted += n
+	} else {
+		b.denied += n
+		b.totalDenied += n
 	}
-	b.denied += n
-	b.totalDenied += n
-	return false
+	if invariant.Hot {
+		// Token conservation (Eqs. IV.1-IV.3): every requested token is
+		// either granted or denied, and granting never overdraws the bucket.
+		invariant.TokensConserved("tokenbucket.ledger",
+			b.totalRequested, b.totalGranted, b.totalDenied)
+		invariant.NonNegative("tokenbucket.tokens", b.tokens)
+	}
+	return granted
 }
 
 // Available returns the tokens remaining in the period containing now.
@@ -127,6 +145,7 @@ func (b *Bucket) Stats() (requested, denied float64, periods int) {
 // measurement interval.
 func (b *Bucket) ResetStats() {
 	b.totalRequested = 0
+	b.totalGranted = 0
 	b.totalDenied = 0
 	b.totalPeriods = 0
 	if b.started {

@@ -1,0 +1,47 @@
+#!/bin/sh
+# check.sh — the repository's full verification gate, run locally before
+# pushing and by CI (.github/workflows/ci.yml):
+#
+#   build        go build ./...
+#   format       gofmt -l (fails on any unformatted file)
+#   vet          go vet ./...
+#   floclint     repo-specific determinism/invariant rules (cmd/floclint)
+#   tests        go test ./...
+#   invariants   go test -tags flocinvariants ./... (hot-path assertions on)
+#   race         go test -race -short ./... (-short skips the multi-second
+#                single-threaded simulations, which race instrumentation
+#                slows ~15x past the package timeout)
+#   fuzz smoke   each fuzz target for FUZZTIME (default 10s)
+#
+# Environment:
+#   FUZZTIME=10s   per-target fuzz budget; set FUZZTIME=0 to skip fuzzing.
+set -eu
+cd "$(dirname "$0")/.."
+
+run() { echo ">> $*" >&2; "$@"; }
+
+run go build ./...
+
+echo ">> gofmt -l ." >&2
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt required for:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+run go vet ./...
+run go run ./cmd/floclint ./...
+run go test ./...
+run go test -tags flocinvariants ./...
+run go test -race -short ./...
+
+FUZZTIME="${FUZZTIME:-10s}"
+if [ "$FUZZTIME" != "0" ]; then
+    run go test -run='^$' -fuzz='^FuzzFilterOps$' -fuzztime "$FUZZTIME" ./internal/dropfilter
+    run go test -run='^$' -fuzz='^FuzzTreeOps$' -fuzztime "$FUZZTIME" ./internal/pathid
+    run go test -run='^$' -fuzz='^FuzzParseKey$' -fuzztime "$FUZZTIME" ./internal/pathid
+    run go test -run='^$' -fuzz='^FuzzCapability$' -fuzztime "$FUZZTIME" ./internal/capability
+fi
+
+echo "check.sh: all gates passed" >&2
