@@ -1,0 +1,120 @@
+package main
+
+// Fixture-corpus verification: each package under testdata/src seeds
+// violations marked with "// WANT <rule>" comments; verifyCorpus lints
+// every fixture through the real go-list driver and reports markers the
+// linter missed and findings no marker expects. lint_test.go runs this
+// in-process; `floclint -fixtures testdata/src` runs it from check.sh so
+// the corpus cannot drift from the rule implementations.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// finding keys diagnostics by (file, line, rule) for comparison against
+// the fixtures' WANT markers.
+type finding struct {
+	file string
+	line int
+	rule string
+}
+
+func (f finding) String() string { return fmt.Sprintf("%s:%d: %s", f.file, f.line, f.rule) }
+
+// scanWantMarkers scans a fixture directory's Go files for
+// "// WANT <rule>..." markers and returns the expected findings.
+func scanWantMarkers(dir string) (map[finding]int, error) {
+	want := map[finding]int{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			idx := strings.Index(text, "// WANT ")
+			if idx < 0 {
+				continue
+			}
+			for _, rule := range strings.Fields(text[idx+len("// WANT "):]) {
+				want[finding{file: e.Name(), line: line, rule: rule}]++
+			}
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return want, nil
+}
+
+// diffFindings returns the findings present in a but missing (or
+// under-counted) in b, sorted for stable output.
+func diffFindings(a, b map[finding]int) []finding {
+	var out []finding
+	for f, n := range a {
+		if b[f] < n {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		if out[i].line != out[j].line {
+			return out[i].line < out[j].line
+		}
+		return out[i].rule < out[j].rule
+	})
+	return out
+}
+
+// verifyCorpus lints every fixture package directory under root and
+// compares the findings against the WANT markers, returning one line per
+// mismatch (empty when the corpus and the rules agree).
+func verifyCorpus(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var mismatches []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		want, err := scanWantMarkers(dir)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := runLint([]string{"./" + filepath.ToSlash(dir)})
+		if err != nil {
+			return nil, fmt.Errorf("fixture %s: %v", e.Name(), err)
+		}
+		got := map[finding]int{}
+		for _, d := range diags {
+			got[finding{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line, rule: d.Rule}]++
+		}
+		for _, miss := range diffFindings(want, got) {
+			mismatches = append(mismatches, fmt.Sprintf("%s: marker not reported: %s", e.Name(), miss))
+		}
+		for _, extra := range diffFindings(got, want) {
+			mismatches = append(mismatches, fmt.Sprintf("%s: finding without marker: %s", e.Name(), extra))
+		}
+	}
+	return mismatches, nil
+}

@@ -21,6 +21,7 @@ const (
 	RuleFloatEq  = "float-eq"
 	RuleMapOrder = "map-order"
 	RuleEqGuard  = "eq-guard"
+	RuleUnits    = "units"
 )
 
 // bannedTimeFuncs are the time-package functions that read the wall clock
@@ -45,18 +46,26 @@ const allowDirective = "floclint:allow"
 
 // linter lints the files of one type-checked package.
 type linter struct {
-	fset  *token.FileSet
-	info  *types.Info
-	allow map[int][]string // line -> rules suppressed on/after that line
-	diags []Diagnostic
+	fset    *token.FileSet
+	info    *types.Info
+	pkgPath string
+	tbl     *unitTable       // module-wide //floc:unit annotations
+	allow   map[int][]string // line -> rules suppressed on/after that line
+	diags   []Diagnostic
 }
 
-// lintPackage runs every rule over one package's files.
-func lintPackage(fset *token.FileSet, files []*ast.File, info *types.Info) []Diagnostic {
-	l := &linter{fset: fset, info: info}
+// lintPackage runs every rule over one package's files. tbl carries the
+// //floc:unit annotations of every package in the module (the units rule
+// needs the directives of dependencies, which export data does not carry).
+func lintPackage(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath string, tbl *unitTable) []Diagnostic {
+	if tbl == nil {
+		tbl = newUnitTable()
+	}
+	l := &linter{fset: fset, info: info, pkgPath: pkgPath, tbl: tbl}
 	for _, f := range files {
 		l.allow = collectAllows(fset, f)
 		l.checkImports(f)
+		l.checkUnits(f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
@@ -94,7 +103,7 @@ func collectAllows(fset *token.FileSet, f *ast.File) map[int][]string {
 				return r == ' ' || r == ',' || r == '\t'
 			}) {
 				switch field {
-				case RuleSimTime, RuleFloatEq, RuleMapOrder, RuleEqGuard:
+				case RuleSimTime, RuleFloatEq, RuleMapOrder, RuleEqGuard, RuleUnits:
 					allow[line] = append(allow[line], field)
 				default:
 					// First non-rule token starts the justification text.

@@ -1,57 +1,18 @@
 package main
 
 import (
-	"bufio"
-	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
-	"strings"
 	"testing"
 )
-
-// finding keys diagnostics by (file, line, rule) for comparison against
-// the fixtures' WANT markers.
-type finding struct {
-	file string
-	line int
-	rule string
-}
-
-func (f finding) String() string { return fmt.Sprintf("%s:%d: %s", f.file, f.line, f.rule) }
 
 // wantMarkers scans a fixture directory's Go files for "// WANT <rule>..."
 // markers and returns the expected findings.
 func wantMarkers(t *testing.T, dir string) map[finding]int {
 	t.Helper()
-	want := map[finding]int{}
-	entries, err := os.ReadDir(dir)
+	want, err := scanWantMarkers(dir)
 	if err != nil {
 		t.Fatal(err)
-	}
-	for _, e := range entries {
-		if !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
-		if err != nil {
-			t.Fatal(err)
-		}
-		sc := bufio.NewScanner(f)
-		for line := 1; sc.Scan(); line++ {
-			text := sc.Text()
-			idx := strings.Index(text, "// WANT ")
-			if idx < 0 {
-				continue
-			}
-			for _, rule := range strings.Fields(text[idx+len("// WANT "):]) {
-				want[finding{file: e.Name(), line: line, rule: rule}]++
-			}
-		}
-		if err := sc.Err(); err != nil {
-			t.Fatal(err)
-		}
-		f.Close()
 	}
 	return want
 }
@@ -74,7 +35,7 @@ func lintFixture(t *testing.T, dir string) map[finding]int {
 // TestSeededViolations checks that every seeded violation is reported at
 // its exact position, and nothing else is.
 func TestSeededViolations(t *testing.T) {
-	for _, fixture := range []string{"timeviol", "floateq", "maporder", "eqguard"} {
+	for _, fixture := range []string{"timeviol", "floateq", "maporder", "eqguard", "units"} {
 		t.Run(fixture, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", fixture)
 			want := wantMarkers(t, dir)
@@ -92,12 +53,29 @@ func TestSeededViolations(t *testing.T) {
 	}
 }
 
-// TestCleanFixture checks the negative case: a file exercising near-miss
-// patterns of every rule yields zero findings.
+// TestCleanFixture checks the negative case: files exercising near-miss
+// patterns of every rule yield zero findings.
 func TestCleanFixture(t *testing.T) {
-	got := lintFixture(t, filepath.Join("testdata", "src", "clean"))
-	if len(got) != 0 {
-		t.Fatalf("clean fixture produced findings: %v", keysOf(got))
+	for _, fixture := range []string{"clean", "unitsclean"} {
+		t.Run(fixture, func(t *testing.T) {
+			got := lintFixture(t, filepath.Join("testdata", "src", fixture))
+			if len(got) != 0 {
+				t.Fatalf("%s fixture produced findings: %v", fixture, keysOf(got))
+			}
+		})
+	}
+}
+
+// TestVerifyCorpus runs the -fixtures driver path over the whole corpus:
+// the same comparison the per-fixture tests make, through the entry point
+// check.sh invokes.
+func TestVerifyCorpus(t *testing.T) {
+	mismatches, err := verifyCorpus(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mismatches {
+		t.Errorf("corpus mismatch: %s", m)
 	}
 }
 
@@ -131,27 +109,6 @@ func TestDiagnosticsSorted(t *testing.T) {
 	}) {
 		t.Fatalf("diagnostics not sorted: %v", diags)
 	}
-}
-
-// diffFindings returns the findings present in a but missing (or
-// under-counted) in b, sorted for stable failure output.
-func diffFindings(a, b map[finding]int) []finding {
-	var out []finding
-	for f, n := range a {
-		if b[f] < n {
-			out = append(out, f)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].file != out[j].file {
-			return out[i].file < out[j].file
-		}
-		if out[i].line != out[j].line {
-			return out[i].line < out[j].line
-		}
-		return out[i].rule < out[j].rule
-	})
-	return out
 }
 
 func keysOf(m map[finding]int) []finding {

@@ -17,6 +17,10 @@
 //	             equation implementations) must guard their inputs: a
 //	             constant comparison, math.IsNaN/IsInf, or an
 //	             internal/invariant assertion.
+//	units      — dimensional analysis over //floc:unit directives and the
+//	             internal/units types: additions, comparisons, and calls
+//	             must agree on packets, bits, bytes, seconds, tokens, and
+//	             their rates; see DESIGN.md for the directive grammar.
 //
 // A finding can be suppressed, with justification, by a trailing or
 // preceding comment: //floclint:allow <rule> [reason].
@@ -50,25 +54,42 @@ import (
 )
 
 func main() {
+	fixtures := flag.String("fixtures", "",
+		"verify the fixture corpus under this directory: lint each fixture package and compare findings against its // WANT markers")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: floclint [packages]\n\nFLoc repo-specific static analysis; see package doc for rules.\n")
+			"usage: floclint [-fixtures dir] [packages]\n\nFLoc repo-specific static analysis; see package doc for rules.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	patterns := flag.Args()
-	if len(patterns) == 0 {
+	failed := false
+	if *fixtures != "" {
+		mismatches, err := verifyCorpus(*fixtures)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "floclint:", err)
+			os.Exit(2)
+		}
+		for _, m := range mismatches {
+			fmt.Println(m)
+		}
+		failed = len(mismatches) > 0
+	}
+	if len(patterns) == 0 && *fixtures == "" {
 		patterns = []string{"./..."}
 	}
-	diags, err := runLint(patterns)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "floclint:", err)
-		os.Exit(2)
+	if len(patterns) > 0 {
+		diags, err := runLint(patterns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "floclint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", d.Pos, d.Rule, d.Msg)
+		}
+		failed = failed || len(diags) > 0
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: %s: %s\n", d.Pos, d.Rule, d.Msg)
-	}
-	if len(diags) > 0 {
+	if failed {
 		os.Exit(1)
 	}
 }
@@ -148,11 +169,19 @@ func runLint(patterns []string) ([]Diagnostic, error) {
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
+	// The units rule needs //floc:unit directives from every module package
+	// in the closure, linted or not: export data carries no comments, so
+	// dependency annotations are collected by a syntax-only parse here.
+	tbl, err := collectUnitTable(pkgs)
+	if err != nil {
+		return nil, err
+	}
+
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, exports)
 	var all []Diagnostic
 	for _, p := range targets {
-		diags, err := lintOne(fset, imp, p)
+		diags, err := lintOne(fset, imp, p, tbl)
 		if err != nil {
 			return nil, err
 		}
@@ -174,10 +203,30 @@ func runLint(patterns []string) ([]Diagnostic, error) {
 	return all, nil
 }
 
+// collectUnitTable syntax-parses every non-standard package in the load
+// closure and gathers its //floc:unit annotations.
+func collectUnitTable(pkgs []*listPkg) (*unitTable, error) {
+	tbl := newUnitTable()
+	cfset := token.NewFileSet()
+	for _, p := range pkgs {
+		if p.Standard {
+			continue
+		}
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(cfset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			collectUnitDecls(p.ImportPath, f, tbl)
+		}
+	}
+	return tbl, nil
+}
+
 // lintOne parses and type-checks one package and runs the rules over it.
 // Only non-test Go files are linted: tests are free to use wall-clock
 // time, and the determinism contract covers simulation code only.
-func lintOne(fset *token.FileSet, imp types.Importer, p *listPkg) ([]Diagnostic, error) {
+func lintOne(fset *token.FileSet, imp types.Importer, p *listPkg, tbl *unitTable) ([]Diagnostic, error) {
 	files := make([]*ast.File, 0, len(p.GoFiles))
 	for _, name := range p.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
@@ -187,13 +236,14 @@ func lintOne(fset *token.FileSet, imp types.Importer, p *listPkg) ([]Diagnostic,
 		files = append(files, f)
 	}
 	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Uses:  map[*ast.Ident]types.Object{},
-		Defs:  map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 	conf := types.Config{Importer: imp, FakeImportC: true}
 	if _, err := conf.Check(p.ImportPath, fset, files, info); err != nil {
 		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
 	}
-	return lintPackage(fset, files, info), nil
+	return lintPackage(fset, files, info, p.ImportPath, tbl), nil
 }

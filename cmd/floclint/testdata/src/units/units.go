@@ -1,0 +1,162 @@
+// Package units seeds violations of the units rule: dimensional analysis
+// over unit directives and the floc/internal/units types. Every dimension
+// of the vocabulary appears, plus composition through * and /, call and
+// return boundaries, field sinks, blessed casts, and the allow directive.
+package units
+
+import "floc/internal/units"
+
+// Config carries annotated rate-plane fields.
+type Config struct {
+	LinkRate float64 //floc:unit bits/s
+	Interval float64 //floc:unit seconds
+	Budget   float64 //floc:unit bits
+}
+
+//floc:unit furlongs // WANT units
+var Bogus float64
+
+// AddRateToAmount adds a rate to an amount.
+// floc:unit rate bits/s
+// floc:unit amount bits
+func AddRateToAmount(rate, amount float64) float64 {
+	return rate + amount // WANT units
+}
+
+// SubSeconds subtracts a packet count from a duration.
+// floc:unit t seconds
+// floc:unit n packets
+func SubSeconds(t, n float64) float64 {
+	return t - n // WANT units
+}
+
+// CompareBytesBits compares a byte count with a bit count.
+// floc:unit b bytes
+// floc:unit x bits
+func CompareBytesBits(b, x float64) bool {
+	return b > x // WANT units
+}
+
+// SpendTokens compares a token count against a byte count.
+// floc:unit toks tokens
+// floc:unit b bytes
+func SpendTokens(toks, b float64) bool {
+	return toks < b // WANT units
+}
+
+// LinkBytes adds a byte rate to a bit rate.
+// floc:unit br bytes/s
+// floc:unit xr bits/s
+func LinkBytes(br, xr float64) float64 {
+	return br + xr // WANT units
+}
+
+// BadBudget multiplies a rate by a rate and claims the result is bits.
+// floc:unit r bits/s
+// floc:unit t seconds
+// floc:unit return bits
+func BadBudget(r, t float64) float64 {
+	return r * r // WANT units
+}
+
+// RefillRate multiplies tokens by seconds and claims a token rate.
+// floc:unit toks tokens
+// floc:unit dt seconds
+// floc:unit return tokens/s
+func RefillRate(toks, dt float64) float64 {
+	return toks * dt // WANT units
+}
+
+// Frequency compares an inverse duration against a packet rate: 1/s is
+// not packets/s.
+// floc:unit t seconds
+// floc:unit pps packets/s
+func Frequency(t, pps float64) bool {
+	return 1/t > pps // WANT units
+}
+
+// Refill adds a dimensionless share to a composed token rate.
+// floc:unit toks tokens
+// floc:unit dt seconds
+// floc:unit share ratio
+func Refill(toks, dt, share float64) float64 {
+	return toks/dt + share // WANT units
+}
+
+// Mislabel declares a local with the wrong unit: scaling by a constant
+// does not re-dimension, conversions do.
+// floc:unit size bytes
+func Mislabel(size float64) float64 {
+	b := size * 8 //floc:unit bits // WANT units
+	return b
+}
+
+// Accumulate adds a duration into a bits accumulator.
+// floc:unit dt seconds
+func Accumulate(dt float64) float64 {
+	var total float64 //floc:unit bits
+	total += dt       // WANT units
+	return total
+}
+
+// WrongReturn declares packets but returns the interval on one path.
+// floc:unit n packets
+// floc:unit dt seconds
+// floc:unit return packets
+func WrongReturn(n, dt float64) float64 {
+	if n > 0 {
+		return n
+	}
+	return dt // WANT units
+}
+
+// Consume is an annotated sink.
+// floc:unit amount bits
+func Consume(amount float64) {}
+
+// CallWrongDim passes a duration where bits are wanted.
+// floc:unit dt seconds
+func CallWrongDim(dt float64) {
+	Consume(dt) // WANT units
+}
+
+// CallSink passes an unannotated float64 into an annotated sink.
+func CallSink() {
+	x := someMeasurement()
+	Consume(x) // WANT units
+}
+
+func someMeasurement() float64 { return 42 }
+
+// FillConfig mis-assigns annotated fields through a composite literal and
+// a selector.
+// floc:unit rate bits/s
+// floc:unit dt seconds
+func FillConfig(rate, dt float64) Config {
+	c := Config{LinkRate: dt} // WANT units
+	c.Budget = rate           // WANT units
+	c.Interval = dt
+	return c
+}
+
+// BadCast converts a duration into units.Bits: casts into the typed layer
+// are blessed re-dimensioning points, but a known mismatch still reports.
+// floc:unit dt seconds
+func BadCast(dt float64) units.Bits {
+	return units.Bits(dt) // WANT units
+}
+
+// MixTyped leaks a typed rate into untyped arithmetic against an amount.
+// floc:unit amount bits
+func MixTyped(r units.BitsPerSec, amount float64) float64 {
+	return float64(r) + amount // WANT units
+}
+
+// Floor uses the paper's 1-packet-per-RTT fair-share floor; the
+// re-dimension is deliberate and suppressed.
+// floc:unit rtt seconds
+// floc:unit return packets/s
+func Floor(rtt float64) float64 {
+	//floclint:allow units 1 packet per RTT fair-share floor (Sec. IV)
+	return 1 / rtt
+}

@@ -1,0 +1,70 @@
+// Package unitsclean exercises idiomatic dimensioned code that must
+// produce zero findings: scalar constants adapt to either operand,
+// integer counts are dimensionless, tokens and packets share a base
+// dimension, and * and / compose dimensions correctly.
+package unitsclean
+
+import "floc/internal/units"
+
+// Path carries annotated fields, including a map whose directive
+// describes the element values.
+type Path struct {
+	Alloc   float64            //floc:unit packets/s
+	RTT     float64            //floc:unit seconds
+	Arrived float64            //floc:unit tokens
+	Flows   map[string]float64 //floc:unit bits
+}
+
+// Window computes a window in packets from a rate and an RTT.
+// floc:unit return packets
+func Window(p *Path) float64 {
+	return p.Alloc * p.RTT
+}
+
+// Fair splits an allocation among n flows; the integer count converts to
+// a dimensionless scalar.
+// floc:unit alloc packets/s
+// floc:unit return packets/s
+func Fair(alloc float64, n int) float64 {
+	if n <= 0 {
+		return alloc
+	}
+	return alloc / float64(n)
+}
+
+// Admit adds packet credit to a token gauge: one token admits one
+// reference packet, so the dimensions agree.
+// floc:unit credit packets
+func Admit(p *Path, credit float64) {
+	p.Arrived += credit
+}
+
+// TotalBits sums per-flow bit counts out of the annotated map.
+// floc:unit return bits
+func TotalBits(p *Path) float64 {
+	var total float64 //floc:unit bits
+	for _, b := range p.Flows {
+		total += b
+	}
+	return total
+}
+
+// Typed goes through the typed layer: conversions into and between the
+// units types carry their dimensions in the type system.
+func Typed(sizeBytes int, dt units.Seconds) units.BitsPerSec {
+	amount := units.FromPacket(sizeBytes)
+	return amount.Per(dt)
+}
+
+// Scaled applies a dimensionless utilization to a typed rate.
+// floc:unit util ratio
+func Scaled(r units.BitsPerSec, util float64) units.BitsPerSec {
+	return r.Scale(util)
+}
+
+// Deadline mixes constants into homogeneous comparisons.
+// floc:unit t seconds
+// floc:unit horizon seconds
+func Deadline(t, horizon float64) bool {
+	return t+0.5*horizon < 2*horizon
+}

@@ -1,0 +1,1266 @@
+package main
+
+// The units rule: dimensional analysis for the paper's quantities.
+//
+// FLoc's equations mix packets, packets/s, bits, bits/s, bytes, seconds,
+// tokens, and dimensionless ratios, and a unit slip at a package seam
+// (tcpmodel works in packets/s, defense and measurement in bits/s)
+// silently corrupts the bandwidth-guarantee results. Struct fields,
+// function parameters, results, and locals declare their dimension with a
+// //floc:unit directive; this pass propagates dimensions through
+// assignments, arithmetic, and call boundaries, and reports:
+//
+//   - additions/subtractions of values with different dimensions,
+//   - comparisons across dimensions,
+//   - annotated sinks (params, struct fields, results) receiving a value
+//     of a known different dimension,
+//   - plain float64 identifiers of unknown dimension flowing into an
+//     annotated parameter (the comment-only-units hazard), and
+//   - malformed directives.
+//
+// Types of floc/internal/units (Bits, BitsPerSec, PacketsPerSec, Seconds)
+// carry their dimension in the type system; conversions to them are the
+// blessed re-dimensioning points (still checked when the operand's
+// dimension is known). Constants are dimensionless scalars that adapt to
+// either operand. packets and tokens share a base dimension: one token
+// admits one reference-size packet (paper Section III-D).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// unitDirective introduces a dimension annotation:
+//
+//	//floc:unit <dim>              on a struct field or a local's := line
+//	// floc:unit <name> <dim>      in a function doc comment, where <name>
+//	//                             is a parameter or named-result name, or
+//	//                             "return" for the first result
+const unitDirective = "floc:unit"
+
+// dim is an exponent vector over the base dimensions. The zero dim is
+// dimensionless ("ratio"). packets and tokens share the packet base.
+type dim struct {
+	bit, byt, packet, second int8
+}
+
+// dimByName is the directive vocabulary.
+var dimByName = map[string]dim{
+	"bits":      {bit: 1},
+	"bytes":     {byt: 1},
+	"packets":   {packet: 1},
+	"tokens":    {packet: 1},
+	"seconds":   {second: 1},
+	"ratio":     {},
+	"bits/s":    {bit: 1, second: -1},
+	"bytes/s":   {byt: 1, second: -1},
+	"packets/s": {packet: 1, second: -1},
+	"tokens/s":  {packet: 1, second: -1},
+}
+
+// canonicalDimNames maps common vectors back to a directive name for
+// diagnostics, preferring the packet spelling over the token alias.
+var canonicalDimNames = map[dim]string{
+	{bit: 1}:                "bits",
+	{byt: 1}:                "bytes",
+	{packet: 1}:             "packets",
+	{second: 1}:             "seconds",
+	{}:                      "ratio",
+	{bit: 1, second: -1}:    "bits/s",
+	{byt: 1, second: -1}:    "bytes/s",
+	{packet: 1, second: -1}: "packets/s",
+}
+
+func (d dim) mul(o dim) dim {
+	return dim{d.bit + o.bit, d.byt + o.byt, d.packet + o.packet, d.second + o.second}
+}
+
+func (d dim) div(o dim) dim {
+	return dim{d.bit - o.bit, d.byt - o.byt, d.packet - o.packet, d.second - o.second}
+}
+
+// String renders the dimension for diagnostics: a directive name when one
+// matches, else a num/den exponent form like "packet*s" or "1/packet^2".
+func (d dim) String() string {
+	if name, ok := canonicalDimNames[d]; ok {
+		return name
+	}
+	bases := []struct {
+		name string
+		exp  int8
+	}{{"bit", d.bit}, {"byte", d.byt}, {"packet", d.packet}, {"s", d.second}}
+	var num, den []string
+	for _, b := range bases {
+		switch {
+		case b.exp > 0:
+			num = append(num, expStr(b.name, b.exp))
+		case b.exp < 0:
+			den = append(den, expStr(b.name, -b.exp))
+		}
+	}
+	n := strings.Join(num, "*")
+	if n == "" {
+		n = "1"
+	}
+	if len(den) == 0 {
+		return n
+	}
+	return n + "/" + strings.Join(den, "*")
+}
+
+func expStr(name string, exp int8) string {
+	if exp == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s^%d", name, exp)
+}
+
+// unitVal is the abstract value of an expression.
+type unitVal struct {
+	kind uvKind
+	d    dim
+}
+
+type uvKind uint8
+
+const (
+	// uvUnknown: no dimension information; compatible everywhere except
+	// the bare-identifier-into-annotated-parameter check.
+	uvUnknown uvKind = iota
+	// uvAny: a constant or integer count; a dimensionless scalar that
+	// adapts to the other operand.
+	uvAny
+	// uvDim: a known dimension.
+	uvDim
+)
+
+var (
+	unknownVal = unitVal{kind: uvUnknown}
+	anyVal     = unitVal{kind: uvAny}
+)
+
+func dimVal(d dim) unitVal { return unitVal{kind: uvDim, d: d} }
+
+// unitsPkgPath is the typed-quantity package whose named types carry
+// dimensions in the type system.
+const unitsPkgPath = "floc/internal/units"
+
+var unitsTypeDims = map[string]dim{
+	"Bits":          {bit: 1},
+	"BitsPerSec":    {bit: 1, second: -1},
+	"PacketsPerSec": {packet: 1, second: -1},
+	"Seconds":       {second: 1},
+}
+
+// dimOfType returns the dimension a named internal/units type carries.
+func dimOfType(t types.Type) (dim, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return dim{}, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != unitsPkgPath {
+		return dim{}, false
+	}
+	d, ok := unitsTypeDims[obj.Name()]
+	return d, ok
+}
+
+// unitTable holds the //floc:unit annotations of every module package,
+// collected syntactically so directives of dependency packages are visible
+// when linting their importers (export data carries no comments).
+type unitTable struct {
+	// funcs maps "pkgpath.[Recv.]Func" to per-name dims: parameter names,
+	// named-result names, and "return" for the first result.
+	funcs map[string]map[string]dim
+	// fields maps "pkgpath.Type.Field" to the field's dim. For map- and
+	// slice-typed fields the dim describes the element values.
+	fields map[string]dim
+}
+
+func newUnitTable() *unitTable {
+	return &unitTable{funcs: map[string]map[string]dim{}, fields: map[string]dim{}}
+}
+
+func funcKeyFor(pkgPath, recvName, name string) string {
+	if recvName != "" {
+		return pkgPath + "." + recvName + "." + name
+	}
+	return pkgPath + "." + name
+}
+
+// recvTypeName extracts the receiver's base type name from an AST
+// receiver field ("" for generic or unresolvable receivers).
+func recvTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// directiveFields returns the whitespace-separated tokens following a
+// unit directive, or nil if the comment carries none. The directive must
+// start the comment line ("//floc:unit ..." or "// floc:unit ..."); prose
+// that merely mentions floc:unit does not annotate.
+func directiveFields(text string) []string {
+	t := strings.TrimSpace(strings.TrimLeft(text, "/"))
+	if !strings.HasPrefix(t, unitDirective) {
+		return nil
+	}
+	rest := t[len(unitDirective):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil // e.g. "floc:unitx"; not this directive
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return []string{}
+	}
+	return fields
+}
+
+// collectUnitDecls scans one parsed file for field and function
+// directives, filling tbl. It is purely syntactic: no type information.
+func collectUnitDecls(pkgPath string, f *ast.File, tbl *unitTable) {
+	for _, decl := range f.Decls {
+		switch decl := decl.(type) {
+		case *ast.FuncDecl:
+			collectFuncUnits(pkgPath, decl, tbl)
+		case *ast.GenDecl:
+			for _, spec := range decl.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				collectFieldUnits(pkgPath, ts.Name.Name, st, tbl)
+			}
+		}
+	}
+}
+
+// collectFuncUnits reads "floc:unit <name> <dim>" lines from a function's
+// doc comment.
+func collectFuncUnits(pkgPath string, fn *ast.FuncDecl, tbl *unitTable) {
+	if fn.Doc == nil {
+		return
+	}
+	var named map[string]dim
+	for _, c := range fn.Doc.List {
+		fields := directiveFields(c.Text)
+		if len(fields) < 2 {
+			continue
+		}
+		d, ok := dimByName[fields[1]]
+		if !ok {
+			continue // reported by checkUnitDirectives in linted packages
+		}
+		if named == nil {
+			named = map[string]dim{}
+		}
+		named[fields[0]] = d
+	}
+	if named != nil {
+		key := funcKeyFor(pkgPath, recvTypeName(fn.Recv), fn.Name.Name)
+		tbl.funcs[key] = named
+	}
+}
+
+// collectFieldUnits reads "floc:unit <dim>" trailing or doc comments on
+// struct fields.
+func collectFieldUnits(pkgPath, typeName string, st *ast.StructType, tbl *unitTable) {
+	for _, field := range st.Fields.List {
+		d, ok := fieldDirective(field)
+		if !ok {
+			continue
+		}
+		for _, name := range field.Names {
+			tbl.fields[pkgPath+"."+typeName+"."+name.Name] = d
+		}
+	}
+}
+
+func fieldDirective(field *ast.Field) (dim, bool) {
+	for _, group := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			fields := directiveFields(c.Text)
+			if len(fields) == 0 {
+				continue
+			}
+			if d, ok := dimByName[fields[0]]; ok {
+				return d, true
+			}
+		}
+	}
+	return dim{}, false
+}
+
+// collectLineDims maps source lines carrying a trailing field-form
+// directive ("//floc:unit <dim>") to the declared dim, for local variable
+// declarations.
+func collectLineDims(fset *token.FileSet, f *ast.File) map[int]dim {
+	out := map[int]dim{}
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			fields := directiveFields(c.Text)
+			if len(fields) == 0 {
+				continue
+			}
+			if d, ok := dimByName[fields[0]]; ok {
+				out[fset.Position(c.Pos()).Line] = d
+			}
+		}
+	}
+	return out
+}
+
+// checkUnitDirectives reports malformed directives: a floc:unit comment
+// whose tokens parse neither as the field/local form (<dim>) nor as the
+// function-doc form (<name> <dim>).
+func (l *linter) checkUnitDirectives(f *ast.File) {
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			fields := directiveFields(c.Text)
+			if fields == nil {
+				continue
+			}
+			ok := false
+			if len(fields) >= 1 {
+				_, ok = dimByName[fields[0]]
+			}
+			if !ok && len(fields) >= 2 {
+				_, ok = dimByName[fields[1]]
+			}
+			if !ok {
+				l.report(c.Pos(), RuleUnits,
+					"malformed floc:unit directive %q; want \"floc:unit <dim>\" or \"floc:unit <name> <dim>\" with <dim> one of packets, packets/s, bits, bits/s, bytes, bytes/s, seconds, tokens, tokens/s, ratio",
+					strings.TrimSpace(c.Text))
+			}
+		}
+	}
+}
+
+// unitsChecker propagates dimensions through one function body.
+type unitsChecker struct {
+	l        *linter
+	tbl      *unitTable
+	pkgPath  string
+	lineDims map[int]dim
+
+	// declared pins a variable's dimension (annotated params, named
+	// results, and directive-carrying locals); env tracks inferred dims.
+	declared map[types.Object]dim
+	env      map[types.Object]unitVal
+
+	// results is a stack of per-result dims of the enclosing function
+	// literals/declaration, innermost last.
+	results [][]*dim
+}
+
+// checkUnits runs the units rule over one file's function bodies.
+func (l *linter) checkUnits(f *ast.File) {
+	l.checkUnitDirectives(f)
+	lineDims := collectLineDims(l.fset, f)
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		c := &unitsChecker{
+			l:        l,
+			tbl:      l.tbl,
+			pkgPath:  l.pkgPath,
+			lineDims: lineDims,
+			declared: map[types.Object]dim{},
+			env:      map[types.Object]unitVal{},
+		}
+		key := funcKeyFor(l.pkgPath, recvTypeName(fn.Recv), fn.Name.Name)
+		c.seedSignature(fn.Type, c.tbl.funcs[key])
+		c.results = append(c.results, c.resultDims(fn.Type, c.tbl.funcs[key]))
+		c.stmt(fn.Body)
+	}
+}
+
+// seedSignature pins annotated (or units-typed) parameters and named
+// results.
+func (c *unitsChecker) seedSignature(ft *ast.FuncType, named map[string]dim) {
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj := c.l.info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if d, ok := named[name.Name]; ok {
+					c.declared[obj] = d
+					continue
+				}
+				if d, ok := dimOfType(obj.Type()); ok {
+					c.declared[obj] = d
+				}
+			}
+		}
+	}
+	seed(ft.Params)
+	seed(ft.Results)
+}
+
+// resultDims computes the per-result expected dims of a signature:
+// directive by result name (or "return" for the first), else the dim the
+// result's units type carries.
+func (c *unitsChecker) resultDims(ft *ast.FuncType, named map[string]dim) []*dim {
+	if ft.Results == nil {
+		return nil
+	}
+	var out []*dim
+	for _, field := range ft.Results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			var rd *dim
+			if i < len(field.Names) {
+				if d, ok := named[field.Names[i].Name]; ok {
+					rd = &d
+				}
+			}
+			if rd == nil && len(out) == 0 {
+				if d, ok := named["return"]; ok {
+					rd = &d
+				}
+			}
+			if rd == nil {
+				if t := c.l.info.Types[field.Type].Type; t != nil {
+					if d, ok := dimOfType(t); ok {
+						rd = &d
+					}
+				}
+			}
+			out = append(out, rd)
+		}
+	}
+	return out
+}
+
+// ---- statements ----
+
+func (c *unitsChecker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			c.stmt(sub)
+		}
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.DeclStmt:
+		c.declStmt(s)
+	case *ast.IfStmt:
+		c.stmt(s.Init)
+		c.expr(s.Cond)
+		c.stmt(s.Body)
+		c.stmt(s.Else)
+	case *ast.ForStmt:
+		c.stmt(s.Init)
+		if s.Cond != nil {
+			c.expr(s.Cond)
+		}
+		c.stmt(s.Post)
+		c.stmt(s.Body)
+	case *ast.RangeStmt:
+		c.rangeStmt(s)
+	case *ast.SwitchStmt:
+		c.stmt(s.Init)
+		if s.Tag != nil {
+			c.expr(s.Tag)
+		}
+		c.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init)
+		c.stmt(s.Assign)
+		c.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			c.expr(e)
+		}
+		for _, sub := range s.Body {
+			c.stmt(sub)
+		}
+	case *ast.SelectStmt:
+		c.stmt(s.Body)
+	case *ast.CommClause:
+		c.stmt(s.Comm)
+		for _, sub := range s.Body {
+			c.stmt(sub)
+		}
+	case *ast.ReturnStmt:
+		c.ret(s)
+	case *ast.IncDecStmt:
+		c.expr(s.X)
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+	case *ast.GoStmt:
+		c.expr(s.Call)
+	case *ast.DeferStmt:
+		c.expr(s.Call)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	}
+}
+
+// declStmt handles `var x T = v` declarations, honoring a trailing
+// //floc:unit directive on the spec's line.
+func (c *unitsChecker) declStmt(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		lineDim, hasLineDim := c.lineDims[c.l.fset.Position(vs.Pos()).Line]
+		var vals []unitVal
+		for _, v := range vs.Values {
+			vals = append(vals, c.expr(v))
+		}
+		for i, name := range vs.Names {
+			obj := c.l.info.Defs[name]
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			v := unknownVal
+			if i < len(vals) {
+				v = vals[i]
+			}
+			if hasLineDim {
+				c.declared[obj] = lineDim
+				c.checkDeclared(name.Pos(), name.Name, lineDim, v)
+				continue
+			}
+			if d, ok := dimOfType(obj.Type()); ok {
+				c.declared[obj] = d
+				c.checkDeclared(name.Pos(), name.Name, d, v)
+				continue
+			}
+			c.env[obj] = v
+		}
+	}
+}
+
+func (c *unitsChecker) checkDeclared(pos token.Pos, name string, d dim, v unitVal) {
+	if v.kind == uvDim && v.d != d {
+		c.l.report(pos, RuleUnits,
+			"%s is declared %s but assigned a %s value", name, d, v.d)
+	}
+}
+
+// assign handles = / := / op= statements.
+func (c *unitsChecker) assign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		lv := c.lvalDim(s.Lhs[0])
+		rv := c.expr(s.Rhs[0])
+		if lv.kind == uvDim && rv.kind == uvDim && lv.d != rv.d {
+			op := "add"
+			if s.Tok == token.SUB_ASSIGN {
+				op = "subtract"
+			}
+			c.l.report(s.TokPos, RuleUnits, "cannot %s %s to %s", op, rv.d, lv.d)
+		}
+		return
+	case token.MUL_ASSIGN, token.QUO_ASSIGN:
+		// The target's dimension changes by the operand's; fields keep
+		// their declared dim (the idiom is scaling by a ratio), locals are
+		// re-inferred.
+		lv := c.lvalDim(s.Lhs[0])
+		rv := c.expr(s.Rhs[0])
+		if id, ok := unparen(s.Lhs[0]).(*ast.Ident); ok {
+			if obj := c.objOf(id); obj != nil {
+				if _, pinned := c.declared[obj]; !pinned {
+					c.env[obj] = c.composeMulDiv(s.Tok == token.MUL_ASSIGN, lv, rv)
+				}
+			}
+		}
+		return
+	default:
+		for _, r := range s.Rhs {
+			c.expr(r)
+		}
+		return
+	}
+
+	// Plain or defining assignment.
+	var vals []unitVal
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		vals = c.tupleVals(s.Rhs[0], len(s.Lhs))
+	} else {
+		for _, r := range s.Rhs {
+			vals = append(vals, c.expr(r))
+		}
+	}
+	lineDim, hasLineDim := c.lineDims[c.l.fset.Position(s.Pos()).Line]
+	for i, lhs := range s.Lhs {
+		v := unknownVal
+		if i < len(vals) {
+			v = vals[i]
+		}
+		c.assignOne(lhs, v, s.Tok == token.DEFINE, lineDim, hasLineDim)
+	}
+}
+
+// assignOne records or checks one assignment target.
+func (c *unitsChecker) assignOne(lhs ast.Expr, v unitVal, define bool, lineDim dim, hasLineDim bool) {
+	switch lhs := unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := c.objOf(lhs)
+		if obj == nil {
+			return
+		}
+		if hasLineDim && define {
+			c.declared[obj] = lineDim
+			c.checkDeclared(lhs.Pos(), lhs.Name, lineDim, v)
+			return
+		}
+		if d, ok := c.declared[obj]; ok {
+			c.checkDeclared(lhs.Pos(), lhs.Name, d, v)
+			return
+		}
+		if d, ok := dimOfType(obj.Type()); ok {
+			c.declared[obj] = d
+			c.checkDeclared(lhs.Pos(), lhs.Name, d, v)
+			return
+		}
+		c.env[obj] = v
+	case *ast.SelectorExpr:
+		lv := c.expr(lhs)
+		if lv.kind == uvDim && v.kind == uvDim && lv.d != v.d {
+			c.l.report(lhs.Sel.Pos(), RuleUnits,
+				"field %s holds %s but is assigned a %s value", lhs.Sel.Name, lv.d, v.d)
+		}
+	case *ast.IndexExpr:
+		lv := c.expr(lhs)
+		if lv.kind == uvDim && v.kind == uvDim && lv.d != v.d {
+			c.l.report(lhs.Pos(), RuleUnits,
+				"element holds %s but is assigned a %s value", lv.d, v.d)
+		}
+	case *ast.StarExpr:
+		c.expr(lhs.X)
+	}
+}
+
+// lvalDim evaluates an assignment target's current dimension.
+func (c *unitsChecker) lvalDim(lhs ast.Expr) unitVal { return c.expr(lhs) }
+
+// tupleVals evaluates a multi-value rhs (call, comma-ok) into n values.
+func (c *unitsChecker) tupleVals(rhs ast.Expr, n int) []unitVal {
+	vals := make([]unitVal, n)
+	for i := range vals {
+		vals[i] = unknownVal
+	}
+	if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+		c.callTuple(call, vals)
+		return vals
+	}
+	vals[0] = c.expr(rhs) // comma-ok idioms: value, then bool
+	return vals
+}
+
+// ret checks return expressions against the enclosing signature.
+func (c *unitsChecker) ret(s *ast.ReturnStmt) {
+	var want []*dim
+	if len(c.results) > 0 {
+		want = c.results[len(c.results)-1]
+	}
+	for i, e := range s.Results {
+		v := c.expr(e)
+		if len(s.Results) != len(want) || i >= len(want) || want[i] == nil {
+			continue
+		}
+		if v.kind == uvDim && v.d != *want[i] {
+			c.l.report(e.Pos(), RuleUnits,
+				"return value has dimension %s, want %s", v.d, *want[i])
+		}
+	}
+}
+
+// rangeStmt seeds the loop variables from the ranged container.
+func (c *unitsChecker) rangeStmt(s *ast.RangeStmt) {
+	cv := c.expr(s.X)
+	keyVal, valVal := anyVal, cv
+	if t := c.l.info.Types[s.X].Type; t != nil {
+		switch t.Underlying().(type) {
+		case *types.Map:
+			keyVal = unknownVal // field dims describe map values, not keys
+		case *types.Chan:
+			keyVal = cv
+			valVal = unknownVal
+		case *types.Basic: // string or integer range
+			keyVal, valVal = anyVal, anyVal
+		}
+	}
+	c.rangeVar(s.Key, keyVal)
+	c.rangeVar(s.Value, valVal)
+	c.stmt(s.Body)
+}
+
+func (c *unitsChecker) rangeVar(e ast.Expr, v unitVal) {
+	if e == nil {
+		return
+	}
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := c.objOf(id)
+	if obj == nil {
+		return
+	}
+	if d, ok := c.declared[obj]; ok {
+		c.checkDeclared(id.Pos(), id.Name, d, v)
+		return
+	}
+	c.env[obj] = v
+}
+
+// ---- expressions ----
+
+// expr evaluates an expression's dimension, reporting violations found in
+// its subexpressions along the way.
+func (c *unitsChecker) expr(e ast.Expr) unitVal {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return anyVal
+	case *ast.Ident:
+		return c.ident(e)
+	case *ast.ParenExpr:
+		return c.expr(e.X)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB:
+			return c.expr(e.X)
+		default:
+			c.expr(e.X)
+			return unknownVal
+		}
+	case *ast.BinaryExpr:
+		return c.binary(e)
+	case *ast.CallExpr:
+		return c.call(e)
+	case *ast.SelectorExpr:
+		return c.selector(e)
+	case *ast.IndexExpr:
+		c.expr(e.Index)
+		return c.expr(e.X) // element dim: field dims describe elements
+	case *ast.IndexListExpr:
+		for _, idx := range e.Indices {
+			c.expr(idx)
+		}
+		return c.expr(e.X)
+	case *ast.StarExpr:
+		return c.expr(e.X)
+	case *ast.SliceExpr:
+		for _, sub := range []ast.Expr{e.Low, e.High, e.Max} {
+			if sub != nil {
+				c.expr(sub)
+			}
+		}
+		return c.expr(e.X)
+	case *ast.TypeAssertExpr:
+		c.expr(e.X)
+		return unknownVal
+	case *ast.CompositeLit:
+		return c.compositeLit(e)
+	case *ast.FuncLit:
+		c.funcLit(e)
+		return unknownVal
+	case *ast.KeyValueExpr:
+		c.expr(e.Value)
+		return unknownVal
+	default:
+		return unknownVal
+	}
+}
+
+func (c *unitsChecker) objOf(id *ast.Ident) types.Object {
+	if obj := c.l.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.l.info.Uses[id]
+}
+
+func (c *unitsChecker) ident(e *ast.Ident) unitVal {
+	obj := c.objOf(e)
+	switch obj := obj.(type) {
+	case *types.Const:
+		if d, ok := dimOfType(obj.Type()); ok {
+			return dimVal(d)
+		}
+		return anyVal
+	case *types.Var:
+		if d, ok := c.declared[obj]; ok {
+			return dimVal(d)
+		}
+		if v, ok := c.env[obj]; ok {
+			return v
+		}
+		if d, ok := dimOfType(obj.Type()); ok {
+			return dimVal(d)
+		}
+	case *types.Nil:
+		return anyVal
+	}
+	return unknownVal
+}
+
+func (c *unitsChecker) binary(e *ast.BinaryExpr) unitVal {
+	lv := c.expr(e.X)
+	rv := c.expr(e.Y)
+	switch e.Op {
+	case token.ADD, token.SUB:
+		if !c.isNumeric(e) {
+			return unknownVal // string concatenation
+		}
+		if lv.kind == uvDim && rv.kind == uvDim && lv.d != rv.d {
+			op := "add"
+			if e.Op == token.SUB {
+				op = "subtract"
+			}
+			c.l.report(e.OpPos, RuleUnits, "cannot %s %s and %s", op, lv.d, rv.d)
+			return unknownVal
+		}
+		switch {
+		case lv.kind == uvDim:
+			return lv
+		case rv.kind == uvDim:
+			return rv
+		case lv.kind == uvAny && rv.kind == uvAny:
+			return anyVal
+		default:
+			return unknownVal
+		}
+	case token.MUL:
+		return c.composeMulDiv(true, lv, rv)
+	case token.QUO:
+		return c.composeMulDiv(false, lv, rv)
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		if lv.kind == uvDim && rv.kind == uvDim && lv.d != rv.d {
+			c.l.report(e.OpPos, RuleUnits,
+				"comparison between %s and %s values", lv.d, rv.d)
+		}
+		return unknownVal
+	default:
+		return unknownVal
+	}
+}
+
+func (c *unitsChecker) isNumeric(e ast.Expr) bool {
+	t := c.l.info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// composeMulDiv multiplies or divides dimensions. A scalar (constant or
+// count) is neutral; an unknown operand poisons the result.
+func (c *unitsChecker) composeMulDiv(mul bool, lv, rv unitVal) unitVal {
+	switch {
+	case lv.kind == uvDim && rv.kind == uvDim:
+		if mul {
+			return dimVal(lv.d.mul(rv.d))
+		}
+		return dimVal(lv.d.div(rv.d))
+	case lv.kind == uvDim && rv.kind == uvAny:
+		return lv
+	case lv.kind == uvAny && rv.kind == uvDim:
+		if mul {
+			return rv
+		}
+		return dimVal(dim{}.div(rv.d))
+	case lv.kind == uvAny && rv.kind == uvAny:
+		return anyVal
+	default:
+		return unknownVal
+	}
+}
+
+func (c *unitsChecker) selector(e *ast.SelectorExpr) unitVal {
+	if s, ok := c.l.info.Selections[e]; ok {
+		c.expr(e.X)
+		if s.Kind() != types.FieldVal {
+			return unknownVal
+		}
+		if d, ok := c.fieldDimOfSelection(s); ok {
+			return dimVal(d)
+		}
+		if d, ok := dimOfType(s.Obj().Type()); ok {
+			return dimVal(d)
+		}
+		return unknownVal
+	}
+	// Package-qualified identifier.
+	switch obj := c.l.info.Uses[e.Sel].(type) {
+	case *types.Const:
+		if d, ok := dimOfType(obj.Type()); ok {
+			return dimVal(d)
+		}
+		return anyVal
+	case *types.Var:
+		if d, ok := dimOfType(obj.Type()); ok {
+			return dimVal(d)
+		}
+	}
+	return unknownVal
+}
+
+// fieldDimOfSelection resolves a field selection to its annotation,
+// walking the selection's index path so embedded structs resolve to the
+// field's direct owner.
+func (c *unitsChecker) fieldDimOfSelection(s *types.Selection) (dim, bool) {
+	t := s.Recv()
+	idx := s.Index()
+	for k, i := range idx {
+		st := underlyingStruct(t)
+		if st == nil || i >= st.NumFields() {
+			return dim{}, false
+		}
+		fld := st.Field(i)
+		if k == len(idx)-1 {
+			owner := namedName(t)
+			if owner == "" || fld.Pkg() == nil {
+				return dim{}, false
+			}
+			d, ok := c.tbl.fields[fld.Pkg().Path()+"."+owner+"."+fld.Name()]
+			return d, ok
+		}
+		t = fld.Type()
+	}
+	return dim{}, false
+}
+
+func underlyingStruct(t types.Type) *types.Struct {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+func namedName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// fieldDimByIndex resolves a struct field's annotation by position, for
+// composite literals.
+func (c *unitsChecker) fieldDim(t types.Type, fld *types.Var) (dim, bool) {
+	owner := namedName(t)
+	if owner == "" || fld.Pkg() == nil {
+		return dim{}, false
+	}
+	if d, ok := c.tbl.fields[fld.Pkg().Path()+"."+owner+"."+fld.Name()]; ok {
+		return d, true
+	}
+	return dimOfType(fld.Type())
+}
+
+func (c *unitsChecker) compositeLit(e *ast.CompositeLit) unitVal {
+	t := c.l.info.Types[e].Type
+	st := underlyingStruct(t)
+	if st == nil {
+		for _, el := range e.Elts {
+			c.expr(el)
+		}
+		return unknownVal
+	}
+	for i, el := range e.Elts {
+		var fld *types.Var
+		val := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				for j := 0; j < st.NumFields(); j++ {
+					if st.Field(j).Name() == key.Name {
+						fld = st.Field(j)
+						break
+					}
+				}
+			}
+		} else if i < st.NumFields() {
+			fld = st.Field(i)
+		}
+		v := c.expr(val)
+		if fld == nil {
+			continue
+		}
+		if d, ok := c.fieldDim(t, fld); ok && v.kind == uvDim && v.d != d {
+			c.l.report(val.Pos(), RuleUnits,
+				"field %s holds %s but is assigned a %s value", fld.Name(), d, v.d)
+		}
+	}
+	return unknownVal
+}
+
+func (c *unitsChecker) funcLit(e *ast.FuncLit) {
+	c.seedSignature(e.Type, nil)
+	c.results = append(c.results, c.resultDims(e.Type, nil))
+	c.stmt(e.Body)
+	c.results = c.results[:len(c.results)-1]
+}
+
+// ---- calls ----
+
+// call evaluates a call or conversion, checking annotated parameters.
+func (c *unitsChecker) call(e *ast.CallExpr) unitVal {
+	vals := make([]unitVal, 1)
+	c.callInto(e, vals)
+	return vals[0]
+}
+
+// callTuple evaluates a call used in a multi-value context.
+func (c *unitsChecker) callTuple(e *ast.CallExpr, vals []unitVal) {
+	c.callInto(e, vals)
+}
+
+func (c *unitsChecker) callInto(e *ast.CallExpr, vals []unitVal) {
+	for i := range vals {
+		vals[i] = unknownVal
+	}
+	// Conversion?
+	if tv, ok := c.l.info.Types[e.Fun]; ok && tv.IsType() {
+		if len(e.Args) != 1 {
+			return
+		}
+		vals[0] = c.conversion(e, tv.Type)
+		return
+	}
+	// Builtin?
+	if id, ok := unparen(e.Fun).(*ast.Ident); ok {
+		if _, ok := c.l.info.Uses[id].(*types.Builtin); ok {
+			for _, a := range e.Args {
+				c.expr(a)
+			}
+			if id.Name == "len" || id.Name == "cap" {
+				vals[0] = anyVal
+			}
+			return
+		}
+	}
+	fn := c.calleeFunc(e.Fun)
+	var sig *types.Signature
+	var named map[string]dim
+	if fn != nil {
+		sig, _ = fn.Type().(*types.Signature)
+		named = c.tbl.funcs[c.funcKeyOf(fn)]
+	}
+	for i, a := range e.Args {
+		av := c.expr(a)
+		pd := paramDim(sig, named, i)
+		if pd == nil {
+			continue
+		}
+		pname := paramName(sig, i)
+		if av.kind == uvDim && av.d != *pd {
+			c.l.report(a.Pos(), RuleUnits,
+				"argument %q of %s wants %s, got %s", pname, fn.Name(), *pd, av.d)
+			continue
+		}
+		if av.kind == uvUnknown && c.isBareFloatIdent(a) {
+			c.l.report(a.Pos(), RuleUnits,
+				"unannotated value %q flows into parameter %q of %s (%s); add a floc:unit directive or use internal/units types",
+				unparen(a).(*ast.Ident).Name, pname, fn.Name(), *pd)
+		}
+	}
+	if sig == nil {
+		return
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len() && i < len(vals); i++ {
+		if named != nil {
+			if name := res.At(i).Name(); name != "" {
+				if d, ok := named[name]; ok {
+					vals[i] = dimVal(d)
+					continue
+				}
+			}
+			if i == 0 {
+				if d, ok := named["return"]; ok {
+					vals[0] = dimVal(d)
+					continue
+				}
+			}
+		}
+		if d, ok := dimOfType(res.At(i).Type()); ok {
+			vals[i] = dimVal(d)
+		}
+	}
+}
+
+// conversion handles T(x): units-type targets are the blessed
+// re-dimensioning points (checked when x's dim is known); other numeric
+// conversions preserve the operand's dimension, with unannotated integer
+// counts becoming dimensionless scalars.
+func (c *unitsChecker) conversion(e *ast.CallExpr, target types.Type) unitVal {
+	inner := c.expr(e.Args[0])
+	if d, ok := dimOfType(target); ok {
+		if inner.kind == uvDim && inner.d != d {
+			c.l.report(e.Pos(), RuleUnits,
+				"conversion to %s from a %s value", target.String(), inner.d)
+		}
+		return dimVal(d)
+	}
+	switch inner.kind {
+	case uvDim:
+		return inner
+	case uvAny:
+		return anyVal
+	}
+	if t := c.l.info.Types[e.Args[0]].Type; t != nil {
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			return anyVal // unannotated integer counts are scalars
+		}
+	}
+	return unknownVal
+}
+
+// calleeFunc resolves the called function object, evaluating the callee
+// expression's receiver chain for checks along the way.
+func (c *unitsChecker) calleeFunc(fun ast.Expr) *types.Func {
+	switch fun := unparen(fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.l.info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if _, isSel := c.l.info.Selections[fun]; isSel {
+			c.expr(fun.X) // method call: check the receiver expression
+		}
+		fn, _ := c.l.info.Uses[fun.Sel].(*types.Func)
+		return fn
+	default:
+		c.expr(fun)
+		return nil
+	}
+}
+
+// funcKeyOf builds the annotation-table key for a resolved function.
+func (c *unitsChecker) funcKeyOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	recvName := ""
+	if recv := sig.Recv(); recv != nil {
+		recvName = namedName(recv.Type())
+		if recvName == "" {
+			return ""
+		}
+	}
+	return funcKeyFor(fn.Pkg().Path(), recvName, fn.Name())
+}
+
+// paramDim returns the annotated dim of parameter i, or nil.
+func paramDim(sig *types.Signature, named map[string]dim, i int) *dim {
+	if sig == nil || named == nil {
+		return nil
+	}
+	params := sig.Params()
+	idx := i
+	if sig.Variadic() && idx >= params.Len()-1 {
+		idx = params.Len() - 1
+	}
+	if idx < 0 || idx >= params.Len() {
+		return nil
+	}
+	name := params.At(idx).Name()
+	if name == "" {
+		return nil
+	}
+	if d, ok := named[name]; ok {
+		return &d
+	}
+	return nil
+}
+
+func paramName(sig *types.Signature, i int) string {
+	params := sig.Params()
+	idx := i
+	if sig.Variadic() && idx >= params.Len()-1 {
+		idx = params.Len() - 1
+	}
+	if idx < 0 || idx >= params.Len() {
+		return "?"
+	}
+	return params.At(idx).Name()
+}
+
+// isBareFloatIdent reports whether the argument is a plain float64
+// identifier — the shape of the comment-only-units hazard the rule exists
+// to catch. Composite expressions are checked through their parts;
+// integer counts and constants are scalars.
+func (c *unitsChecker) isBareFloatIdent(a ast.Expr) bool {
+	id, ok := unparen(a).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.objOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	b, ok := v.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

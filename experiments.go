@@ -72,6 +72,7 @@ func Fig3(scale float64, seed uint64) (*Table, error) { return experiments.Fig3(
 
 // Fig4 regenerates the token-request model illustration for n flows of
 // peak window w.
+// floc:unit w packets
 func Fig4(n int, w float64) *Table { return experiments.Fig4(n, w) }
 
 // Fig6 regenerates the attack-confinement time series for one attack

@@ -86,6 +86,8 @@ func NewNetwork(seed uint64) *Network { return netsim.New(seed) }
 
 // NewLink creates a link with rate in bits/second, propagation delay in
 // seconds, queue discipline disc, delivering to dst.
+// floc:unit rateBits bits/s
+// floc:unit delay seconds
 func NewLink(name string, rateBits, delay float64, disc Discipline, dst netsim.Endpoint) (*Link, error) {
 	return netsim.NewLink(name, rateBits, delay, disc, dst)
 }
@@ -109,6 +111,7 @@ func NewREDPD(capacity int, seed uint64) (Discipline, error) {
 
 // NewPushback returns an aggregate-congestion-control (Pushback)
 // discipline for a link of linkRateBits.
+// floc:unit linkRateBits bits/s
 func NewPushback(capacity int, linkRateBits float64, seed uint64) (Discipline, error) {
 	return defense.NewPushback(defense.DefaultPushbackConfig(capacity, linkRateBits, seed))
 }

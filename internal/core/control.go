@@ -14,6 +14,7 @@ import (
 // conformance updates (Eq. IV.6), aggregation (Section IV-C), token-bucket
 // parameter recomputation (Eqs. IV.1-IV.3), and attack-path detection
 // (Section IV-B.1).
+// floc:unit now seconds
 func (r *Router) runControl(now float64) {
 	interval := now - r.lastControl
 	if r.controlRuns == 0 || interval <= 0 {
@@ -30,6 +31,7 @@ func (r *Router) runControl(now float64) {
 
 // expireFlows drops idle flows and empty origin paths, and rolls the
 // per-flow admitted-rate meters.
+// floc:unit now seconds
 func (r *Router) expireFlows(now float64) {
 	for key, ps := range r.origins {
 		for fk, fs := range ps.flows {
@@ -62,6 +64,7 @@ func (r *Router) expireFlows(now float64) {
 // filter and advances the conformance EWMA (Eq. IV.6).
 //
 // floc:eq IV.6
+// floc:unit now seconds
 func (r *Router) updateConformance(now float64) {
 	for _, ps := range r.origins {
 		eff := ps.effective()
@@ -98,6 +101,7 @@ func (r *Router) updateConformance(now float64) {
 
 // rttOf returns a path's (scaled, under-estimated) RTT for parameter
 // computation; aggregates use the flow-weighted mean of their members.
+// floc:unit return seconds
 func (r *Router) rttOf(ps *pathState) float64 {
 	raw := 0.0
 	if ps.members == nil {
@@ -146,6 +150,8 @@ func (r *Router) GuaranteedPathCount() int { return len(r.guaranteedPaths()) }
 
 // recomputeParams refreshes every guaranteed path's bandwidth share,
 // token-bucket parameters, attack-path flag, and the router's Q_max.
+// floc:unit now seconds
+// floc:unit interval seconds
 func (r *Router) recomputeParams(now, interval float64) {
 	paths := r.guaranteedPaths()
 	if len(paths) == 0 {
@@ -210,6 +216,7 @@ func (r *Router) recomputeParams(now, interval float64) {
 		// above their allocation by design, from being misflagged.
 		if ps.drops > 0 && ps.params.Period > 0 {
 			meanDropInterval := interval / float64(ps.drops)
+			//floclint:allow units one token per period is the reference drop rate (Sec. IV-B.1)
 			overRate := ps.lambda > 1.1*alloc+1/ps.params.Period
 			if meanDropInterval < ps.params.Period && overRate {
 				ps.attack = true
@@ -243,12 +250,15 @@ func (r *Router) recomputeParams(now, interval float64) {
 // estimateFlowCount implements the scalable flow counter of Section V-B.1:
 // infer the steady-state peak window from the observed drop ratio, then
 // n = 4*C*RTT/(3*W).
+// floc:unit alloc packets/s
+// floc:unit interval seconds
 func (r *Router) estimateFlowCount(ps *pathState, alloc, interval float64) int {
 	arrivals := ps.arrivedTokens
 	if arrivals <= 0 || ps.drops == 0 {
 		return ps.flowCount() // no signal this interval; keep exact count
 	}
-	gamma := float64(ps.drops) / arrivals
+	//floclint:allow units drops per token arrived is the drop ratio of Sec. V-B.1
+	gamma := float64(ps.drops) / arrivals //floc:unit ratio
 	w := tcpmodel.WindowFromDropRatio(gamma)
 	if math.IsInf(w, 1) {
 		return ps.flowCount()
@@ -265,7 +275,7 @@ type PathInfo struct {
 	// Key is the path identifier key.
 	Key string
 	// Conformance is E_Ri in [0, 1].
-	Conformance float64
+	Conformance float64 //floc:unit ratio
 	// Attack reports the path's attack-path flag (inherited from its
 	// aggregate when aggregated).
 	Attack bool
@@ -280,12 +290,13 @@ type PathInfo struct {
 	AttackFlows int
 	// AllocPackets is the guaranteed bandwidth in packets/second of the
 	// path's effective identifier.
-	AllocPackets float64
+	AllocPackets float64 //floc:unit packets/s
 	// Period and Bucket are the token-bucket parameters of the effective
 	// identifier.
-	Period, Bucket float64
+	Period float64 //floc:unit seconds
+	Bucket float64 //floc:unit tokens
 	// RTT is the path's raw measured RTT estimate.
-	RTT float64
+	RTT float64 //floc:unit seconds
 }
 
 // PathInfos returns per-origin-path state, sorted by key.
@@ -355,6 +366,8 @@ func newEWMA() *stats.EWMA { return stats.NewEWMA(0.3) }
 // per congestion epoch ("If the number of distinct flows that have packet
 // drops is less than the computed number of flows, there certainly exist
 // attack flows").
+// floc:unit now seconds
+// floc:unit modelEstimate ratio
 func (r *Router) DistinctDroppedFlows(pathKey string, now float64) (distinct int, modelEstimate float64) {
 	ps := r.origins[pathKey]
 	if ps == nil {

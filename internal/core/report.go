@@ -13,8 +13,9 @@ type Snapshot struct {
 	// Mode is the current queue mode.
 	Mode Mode
 	// QueueLen, QMin and QMax describe the buffer state.
-	QueueLen   int
-	QMin, QMax float64
+	QueueLen int
+	QMin     float64 //floc:unit packets
+	QMax     float64 //floc:unit packets
 	// GuaranteedPaths is the number of bandwidth-guaranteed identifiers.
 	GuaranteedPaths int
 	// Paths is the per-origin-path state.

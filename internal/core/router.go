@@ -71,8 +71,8 @@ type flowKey struct {
 // flowState is the per-active-flow record of the (non-scalable) exact
 // tracking mode.
 type flowState struct {
-	lastSeen     float64
-	synAt        float64
+	lastSeen     float64 //floc:unit seconds
+	synAt        float64 //floc:unit seconds
 	awaitingData bool
 	hash         uint64
 
@@ -81,21 +81,23 @@ type flowState struct {
 	// (tokens/second). The arrival rate upper-bounds attack-path flows at
 	// their fair share (Eq. IV.5's stated aim) and classifies attack
 	// flows for the conformance measure.
-	admitted     float64
-	arrived      float64
-	admittedRate float64
-	arrivedRate  float64
+	admitted     float64 //floc:unit tokens
+	arrived      float64 //floc:unit tokens
+	admittedRate float64 //floc:unit tokens/s
+	arrivedRate  float64 //floc:unit tokens/s
 
 	// escalation grows while the flow keeps offering more than its fair
 	// share interval after interval — the paper's "aggressively
 	// penalizes the flows whose MTDs keep decreasing (i.e., flows that
 	// do not respond to packet drops)" — and decays once the flow
 	// responds. Effective fair share = fair / escalation.
-	escalation float64
+	escalation float64 //floc:unit ratio
 }
 
 // offeredRate returns the flow's best current estimate of its send rate
 // in tokens/second.
+// floc:unit controlInterval seconds
+// floc:unit return tokens/s
 func (fs *flowState) offeredRate(controlInterval float64) float64 {
 	rate := fs.arrivedRate
 	if cur := fs.arrived / controlInterval; cur > rate {
@@ -122,22 +124,22 @@ type pathState struct {
 
 	bucket      *tokenbucket.Bucket
 	params      tcpmodel.Params
-	bucketFlood bool // bucket currently sized N (flooding) vs N' (congested)
-	alloc       float64
+	bucketFlood bool    // bucket currently sized N (flooding) vs N' (congested)
+	alloc       float64 //floc:unit packets/s
 
 	rtt         *stats.EWMA
-	conformance float64
+	conformance float64 //floc:unit ratio
 	attack      bool
 
 	flows       map[flowKey]*flowState
 	attackFlows int
 
 	// Interval measurement (reset each control tick).
-	arrivedTokens float64
+	arrivedTokens float64 //floc:unit tokens
 	drops         int
-	lambda        float64 // smoothed request rate, tokens/second
+	lambda        float64 //floc:unit tokens/s (smoothed request rate)
 
-	createdAt float64
+	createdAt float64 //floc:unit seconds
 }
 
 // effective returns the path identifier that owns this path's bucket.
@@ -168,8 +170,8 @@ type Router struct {
 	rng *rng.Source
 
 	fifo *netsim.FIFO
-	qmin float64
-	qmax float64
+	qmin float64 //floc:unit packets
+	qmax float64 //floc:unit packets
 
 	tree    *pathid.Tree
 	origins map[string]*pathState // by PathID key, origin paths only
@@ -180,14 +182,14 @@ type Router struct {
 	acct   *capability.Accountant
 	slots  map[netsim.FlowID]uint32 // capability slot cache
 
-	lastControl float64
+	lastControl float64 //floc:unit seconds
 	controlRuns int
 	planSig     string
 
 	dropCounts [numDropReasons]int64
 	admitted   int64
 	arrived    int64
-	epochFloor float64
+	epochFloor float64 //floc:unit seconds
 }
 
 var _ netsim.Discipline = (*Router)(nil)
@@ -284,6 +286,7 @@ func (r *Router) acctKey(pkt *netsim.Packet) (flowKey, uint64) {
 }
 
 // origin returns (creating if necessary) the origin path state for pkt.
+// floc:unit now seconds
 func (r *Router) origin(pkt *netsim.Packet, now float64) *pathState {
 	key := pkt.PathKey
 	if key == "" {
@@ -320,6 +323,7 @@ func (r *Router) origin(pkt *netsim.Packet, now float64) *pathState {
 }
 
 // Enqueue implements netsim.Discipline: the FLoc packet admission policy.
+// floc:unit now seconds
 func (r *Router) Enqueue(pkt *netsim.Packet, now float64) bool {
 	if now-r.lastControl >= r.cfg.ControlInterval {
 		r.runControl(now)
@@ -350,7 +354,8 @@ func (r *Router) Enqueue(pkt *netsim.Packet, now float64) bool {
 		}
 	}
 
-	tokens := float64(pkt.Size) / float64(r.cfg.PacketSize)
+	//floclint:allow units reference-packet conversion: byte size over PacketSize counts tokens (Sec. III-D)
+	tokens := float64(pkt.Size) / float64(r.cfg.PacketSize) //floc:unit tokens
 	if invariant.Hot {
 		invariant.Positive("core.pkt.tokens", tokens)
 	}
@@ -440,17 +445,23 @@ const minBucketTokens = 2
 
 // normalizeBucket floors the bucket at minBucketTokens while preserving
 // the admitted rate (size/period) by stretching the period with it.
-func normalizeBucket(period, size float64) (float64, float64) {
+// floc:unit period seconds
+// floc:unit size tokens
+// floc:unit outPeriod seconds
+// floc:unit outSize tokens
+func normalizeBucket(period, size float64) (outPeriod, outSize float64) {
 	if size >= minBucketTokens {
 		return period, size
 	}
-	scale := minBucketTokens / size
+	//floclint:allow units minBucketTokens over size is a pure token ratio; the stretch keeps size/period fixed
+	scale := minBucketTokens / size //floc:unit ratio
 	return period * scale, minBucketTokens
 }
 
 // preferentialDrop applies the attack-flow preferential drop policy
 // (Eq. IV.5 with the Section V-B drop-record filter). It returns true if
 // the packet was dropped.
+// floc:unit now seconds
 func (r *Router) preferentialDrop(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, now float64) bool {
 	if r.cfg.DisablePreferentialDrop {
 		return false
@@ -496,14 +507,16 @@ func (r *Router) preferentialDrop(pkt *netsim.Packet, orig, eff *pathState, fs *
 // fairShare returns the per-flow fair bandwidth (tokens/second) of a
 // path identifier, floored at one packet per RTT: a responsive flow
 // cannot run below that, so the penalty machinery never demands it.
+// floc:unit return tokens/s
 func (r *Router) fairShare(eff *pathState) float64 {
 	n := eff.flowCount()
 	if n < 1 {
 		n = 1
 	}
-	fair := eff.alloc / float64(n)
+	fair := eff.alloc / float64(n) //floc:unit tokens/s
+	//floclint:allow units 1 packet per RTT fair-share floor (Sec. IV)
 	if rtt := r.rttOf(eff); rtt > 0 && fair < 1/rtt {
-		fair = 1 / rtt
+		fair = 1 / rtt //floclint:allow units 1 packet per RTT fair-share floor (Sec. IV)
 	}
 	if invariant.Hot {
 		invariant.NonNegative("core.fairshare", fair)
@@ -513,6 +526,8 @@ func (r *Router) fairShare(eff *pathState) float64 {
 
 // FlowExcess returns the drop filter's excess estimate for a flow, for
 // instrumentation and tests. It uses the flow's accounting identity.
+// floc:unit now seconds
+// floc:unit return ratio
 func (r *Router) FlowExcess(src, dst uint32, path pathid.PathID, now float64) float64 {
 	pkt := &netsim.Packet{Src: src, Dst: dst, Path: path}
 	_, hash := r.acctKey(pkt)
@@ -525,6 +540,8 @@ func (r *Router) FlowExcess(src, dst uint32, path pathid.PathID, now float64) fl
 }
 
 // admit puts the packet on the physical queue and meters the flow.
+// floc:unit tokens tokens
+// floc:unit now seconds
 func (r *Router) admit(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, tokens, now float64) bool {
 	if !r.fifo.Enqueue(pkt, now) {
 		// Physical overflow: the effective path still pays for it.
@@ -540,6 +557,7 @@ func (r *Router) admit(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, 
 
 // epoch returns a path's congestion epoch (W/2 * RTT == RefMTD) for the
 // drop filter, floored to the filter tick.
+// floc:unit return seconds
 func (r *Router) epoch(eff *pathState) float64 {
 	e := eff.params.RefMTD
 	if e < r.epochFloor {
@@ -569,6 +587,7 @@ func (r *Router) filterK(eff *pathState) int {
 // filter's saturation point and push its admitted rate far below the fair
 // share, instead of converging at the paper's equilibrium
 // alpha*(1-P_pd) = 1 (admitted == fair share).
+// floc:unit now seconds
 func (r *Router) drop(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, now float64, reason DropReason) {
 	r.dropCounts[reason]++
 	eff.drops++

@@ -1,10 +1,14 @@
 package defense
 
 import (
-	"math"
-
 	"floc/internal/netsim"
+	"floc/internal/units"
 )
+
+// burstWindow is the burst allowance granted by rate limiters: a limiter
+// admits up to one burstWindow's worth of traffic at the configured rate
+// beyond its steady-state budget.
+const burstWindow units.Seconds = 0.1
 
 // Limiter is a rate-limiting queue discipline installed at an *upstream*
 // router by Pushback's propagation protocol: the congested router asks
@@ -14,12 +18,12 @@ import (
 type Limiter struct {
 	inner netsim.Discipline
 
-	rateBits   float64 // 0 = unlimited
-	tokens     float64
-	lastRefill float64
+	rateBits   units.BitsPerSec // 0 = unlimited
+	tokens     units.Bits
+	lastRefill float64 //floc:unit seconds
 
 	dropped     int
-	offeredBits float64
+	offeredBits units.Bits
 }
 
 var _ netsim.Discipline = (*Limiter)(nil)
@@ -30,21 +34,27 @@ func NewLimiter(inner netsim.Discipline) *Limiter {
 }
 
 // SetRateBits installs (or, with 0, removes) a rate limit in bits/second.
-func (l *Limiter) SetRateBits(rate float64) {
+func (l *Limiter) SetRateBits(rate units.BitsPerSec) {
 	if rate <= 0 {
 		l.rateBits = 0
 		return
 	}
 	l.rateBits = rate
-	// Grant a 100 ms burst allowance on (re)installation.
-	l.tokens = math.Min(l.tokens, rate*0.1)
+	// Grant a burst allowance on (re)installation: carry over accumulated
+	// credit up to one full burst window at the new rate, and seed at
+	// least half a window so a freshly installed limiter does not drop
+	// the first packet it sees.
+	full := rate.Times(burstWindow)
+	if l.tokens > full {
+		l.tokens = full
+	}
 	if l.tokens <= 0 {
-		l.tokens = rate * 0.05
+		l.tokens = rate.Times(burstWindow / 2)
 	}
 }
 
 // RateBits returns the current limit (0 = unlimited).
-func (l *Limiter) RateBits() float64 { return l.rateBits }
+func (l *Limiter) RateBits() units.BitsPerSec { return l.rateBits }
 
 // Dropped returns packets dropped by the limiter itself.
 func (l *Limiter) Dropped() int { return l.dropped }
@@ -54,23 +64,24 @@ func (l *Limiter) Dropped() int { return l.dropped }
 // upstream router reports to the congested router, which must size and
 // release limits against the aggregate's true demand, not the
 // post-limiting residue it sees locally.
-func (l *Limiter) TakeOfferedBits() float64 {
+func (l *Limiter) TakeOfferedBits() units.Bits {
 	v := l.offeredBits
 	l.offeredBits = 0
 	return v
 }
 
 // Enqueue implements netsim.Discipline.
+// floc:unit now seconds
 func (l *Limiter) Enqueue(pkt *netsim.Packet, now float64) bool {
-	l.offeredBits += float64(pkt.Size * 8)
+	bits := units.FromPacket(pkt.Size)
+	l.offeredBits += bits
 	if l.rateBits > 0 {
-		l.tokens += (now - l.lastRefill) * l.rateBits
-		maxTokens := l.rateBits * 0.1
+		l.tokens += l.rateBits.Times(units.Seconds(now - l.lastRefill))
+		maxTokens := l.rateBits.Times(burstWindow)
 		if l.tokens > maxTokens {
 			l.tokens = maxTokens
 		}
 		l.lastRefill = now
-		bits := float64(pkt.Size * 8)
 		if l.tokens < bits {
 			l.dropped++
 			return false
@@ -83,6 +94,7 @@ func (l *Limiter) Enqueue(pkt *netsim.Packet, now float64) bool {
 }
 
 // Dequeue implements netsim.Discipline.
+// floc:unit now seconds
 func (l *Limiter) Dequeue(now float64) *netsim.Packet { return l.inner.Dequeue(now) }
 
 // Len implements netsim.Discipline.

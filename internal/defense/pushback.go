@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"floc/internal/netsim"
+	"floc/internal/units"
 )
 
 // PushbackConfig configures the Pushback (aggregate congestion control)
@@ -22,24 +23,25 @@ type PushbackConfig struct {
 	// RED parameterizes the underlying queue.
 	RED REDConfig
 	// LinkRateBits is the protected link's capacity in bits/second.
-	LinkRateBits float64
+	LinkRateBits float64 //floc:unit bits/s
 	// Interval is the ACC review period in seconds.
-	Interval float64
+	Interval float64 //floc:unit seconds
 	// DropRateTrigger is the drop fraction over an interval that triggers
 	// aggregate rate limiting.
-	DropRateTrigger float64
+	DropRateTrigger float64 //floc:unit ratio
 	// TargetUtil is the fraction of link capacity the water-fill aims
 	// to admit.
-	TargetUtil float64
+	TargetUtil float64 //floc:unit ratio
 	// AggDepth is the path-postfix depth that defines an aggregate
 	// (0 means the full path, i.e. per-origin-domain aggregates).
 	AggDepth int
 	// ReleaseFactor loosens limits each quiet interval; an aggregate is
 	// released when its limit exceeds its demand.
-	ReleaseFactor float64
+	ReleaseFactor float64 //floc:unit ratio
 }
 
 // DefaultPushbackConfig returns the parameterization used in experiments.
+// floc:unit linkRateBits bits/s
 func DefaultPushbackConfig(capacity int, linkRateBits float64, seed uint64) PushbackConfig {
 	return PushbackConfig{
 		RED:             DefaultREDConfig(capacity, seed),
@@ -54,11 +56,11 @@ func DefaultPushbackConfig(capacity int, linkRateBits float64, seed uint64) Push
 
 // aggState tracks one aggregate's measurement and limiter.
 type aggState struct {
-	arrivedBits float64 // this interval
+	arrivedBits units.Bits // this interval
 	limited     bool
-	limitBits   float64 // bits/second
-	tokens      float64 // limiter bucket, bits
-	lastRefill  float64
+	limitBits   units.BitsPerSec
+	tokens      units.Bits // limiter bucket
+	lastRefill  float64    //floc:unit seconds
 }
 
 // Pushback is the ACC discipline. With AttachUpstream it also models the
@@ -69,10 +71,10 @@ type Pushback struct {
 	cfg PushbackConfig
 	red *RED
 
-	intervalStart float64
+	intervalStart float64 //floc:unit seconds
 	aggs          map[string]*aggState
-	arrivals      int
-	drops         int
+	arrivals      int //floc:unit packets
+	drops         int //floc:unit packets
 
 	upstream map[string]*Limiter
 
@@ -166,10 +168,11 @@ func (p *Pushback) aggKey(pkt *netsim.Packet) string {
 
 // review runs at interval boundaries: decides on activation, recomputes
 // limits, releases stale limiters, and resets measurement.
+// floc:unit now seconds
 func (p *Pushback) review(now float64) {
 	// Fold in upstream status reports: a limited aggregate's demand is
 	// what was *offered* upstream, not the residue that reached us.
-	upstreamShed := 0.0
+	upstreamShed := units.Bits(0)
 	for k, lim := range p.upstream {
 		offered := lim.TakeOfferedBits()
 		if a, ok := p.aggs[k]; ok && offered > a.arrivedBits {
@@ -181,7 +184,8 @@ func (p *Pushback) review(now float64) {
 	if p.arrivals > 0 {
 		// Upstream-shed traffic counts as dropped demand when deciding
 		// whether congestion persists.
-		shedPkts := upstreamShed / 8000 // approximate full-size packets
+		//floclint:allow units reference-packet conversion: 8000 bits per full-size packet
+		shedPkts := float64(upstreamShed) / 8000 //floc:unit packets
 		dropFrac = (float64(p.drops) + shedPkts) / (float64(p.arrivals) + shedPkts)
 	}
 	if dropFrac > p.cfg.DropRateTrigger {
@@ -193,8 +197,8 @@ func (p *Pushback) review(now float64) {
 			if !a.limited {
 				continue
 			}
-			a.limitBits *= p.cfg.ReleaseFactor
-			if a.limitBits > a.arrivedBits/p.cfg.Interval {
+			a.limitBits = a.limitBits.Scale(p.cfg.ReleaseFactor)
+			if a.limitBits > a.arrivedBits.Per(units.Seconds(p.cfg.Interval)) {
 				a.limited = false
 			}
 			p.mirrorUpstream(k, a)
@@ -219,16 +223,16 @@ func (p *Pushback) computeLimits() {
 	p.activations++
 	type entry struct {
 		key  string
-		rate float64 // bits/s over the interval
+		rate units.BitsPerSec // over the interval
 	}
 	entries := make([]entry, 0, len(p.aggs))
-	total := 0.0
+	total := units.BitsPerSec(0)
 	for k, a := range p.aggs {
-		r := a.arrivedBits / p.cfg.Interval
+		r := a.arrivedBits.Per(units.Seconds(p.cfg.Interval))
 		entries = append(entries, entry{key: k, rate: r})
 		total += r
 	}
-	target := p.cfg.TargetUtil * p.cfg.LinkRateBits
+	target := units.BitsPerSec(p.cfg.TargetUtil * p.cfg.LinkRateBits)
 	if total <= target || len(entries) == 0 {
 		return
 	}
@@ -242,33 +246,34 @@ func (p *Pushback) computeLimits() {
 		return entries[i].key < entries[j].key
 	})
 	// Water-fill: find k and L so that k*L + sum(rates below L) = target.
-	suffix := make([]float64, len(entries)+1)
+	suffix := make([]units.BitsPerSec, len(entries)+1)
 	for i := len(entries) - 1; i >= 0; i-- {
 		suffix[i] = suffix[i+1] + entries[i].rate
 	}
-	var limit float64
+	var limit units.BitsPerSec
 	k := 0
 	for k = 1; k <= len(entries); k++ {
-		l := (target - suffix[k]) / float64(k)
+		l := (target - suffix[k]).Scale(1 / float64(k))
 		if k == len(entries) || l >= entries[k].rate {
 			limit = l
 			break
 		}
 	}
 	if limit <= 0 {
-		limit = target / float64(len(entries))
+		limit = target.Scale(1 / float64(len(entries)))
 		k = len(entries)
 	}
 	for i := 0; i < k && i < len(entries); i++ {
 		a := p.aggs[entries[i].key]
 		a.limited = true
 		a.limitBits = limit
-		a.tokens = limit * 0.1 // 100 ms burst allowance
+		a.tokens = limit.Times(burstWindow)
 		p.mirrorUpstream(entries[i].key, a)
 	}
 }
 
 // Enqueue implements netsim.Discipline.
+// floc:unit now seconds
 func (p *Pushback) Enqueue(pkt *netsim.Packet, now float64) bool {
 	if now-p.intervalStart >= p.cfg.Interval {
 		p.review(now)
@@ -279,14 +284,14 @@ func (p *Pushback) Enqueue(pkt *netsim.Packet, now float64) bool {
 		a = &aggState{lastRefill: now}
 		p.aggs[key] = a
 	}
-	bits := float64(pkt.Size * 8)
+	bits := units.FromPacket(pkt.Size)
 	a.arrivedBits += bits
 	p.arrivals++
 
 	if a.limited {
 		// Refill the limiter bucket.
-		a.tokens += (now - a.lastRefill) * a.limitBits
-		maxTokens := a.limitBits * 0.1
+		a.tokens += a.limitBits.Times(units.Seconds(now - a.lastRefill))
+		maxTokens := a.limitBits.Times(burstWindow)
 		if a.tokens > maxTokens {
 			a.tokens = maxTokens
 		}
@@ -306,6 +311,7 @@ func (p *Pushback) Enqueue(pkt *netsim.Packet, now float64) bool {
 }
 
 // Dequeue implements netsim.Discipline.
+// floc:unit now seconds
 func (p *Pushback) Dequeue(now float64) *netsim.Packet { return p.red.Dequeue(now) }
 
 // Len implements netsim.Discipline.

@@ -34,7 +34,7 @@ type Config struct {
 	Bits int
 	// TickSeconds is t_base, the time quantization granularity
 	// (paper example: 10 ms).
-	TickSeconds float64
+	TickSeconds float64 //floc:unit seconds
 	// TSMax is the saturation value of t_s (paper: 4 bits -> 15).
 	TSMax uint32
 	// DMax is the saturation value of d. The paper's 2-bits-per-epoch
@@ -145,6 +145,7 @@ func (f *Filter) arraysFor(h uint64, k int) []int {
 }
 
 // ticks quantizes a time in seconds to filter ticks.
+// floc:unit now seconds
 func (f *Filter) ticks(now float64) uint32 {
 	if now <= 0 {
 		return 0
@@ -194,6 +195,8 @@ func (f *Filter) decay(r *record, nowTicks, epochTicks uint32) {
 // probabilistic-update weight (Section V-B.4): the caller samples drops
 // with probability 1/weight and passes the weight here so expectations are
 // preserved; use 1 for exact recording.
+// floc:unit now seconds
+// floc:unit epoch seconds
 func (f *Filter) RecordDrop(h uint64, now, epoch float64, k int, weight uint32) {
 	if weight < 1 {
 		weight = 1
@@ -248,6 +251,7 @@ type State struct {
 // (extra drops per congestion epoch).
 //
 // floc:eq V-B.2 (P_e = d/t_s)
+// floc:unit return ratio
 func (s State) Excess() float64 {
 	if s.TS == 0 {
 		return 0
@@ -267,6 +271,7 @@ func (s State) Excess() float64 {
 // a 64x flow saturating d at 63 with t_s=1 gives P_pd = 63/64 = 0.984.
 //
 // floc:eq V.1 (P_pd = d/(t_s+d))
+// floc:unit return ratio
 func (s State) PrefDropProb() float64 {
 	if s.D == 0 {
 		return 0
@@ -278,6 +283,8 @@ func (s State) PrefDropProb() float64 {
 // read-consistently (without mutating the stored records) and taking the
 // minimum d across the flow's arrays (the counting-Bloom conservative
 // read). k must match the k used for RecordDrop for this flow's path.
+// floc:unit now seconds
+// floc:unit epoch seconds
 func (f *Filter) Query(h uint64, now, epoch float64, k int) State {
 	nowTicks := f.ticks(now)
 	epochTicks := f.ticks(epoch)
@@ -347,16 +354,20 @@ func (f *Filter) Reset() {
 
 // FalsePositiveRate returns the probability that a clean flow collides
 // with recorded flows in all of the k arrays it reads, with n flows
-// recorded in arrays of 2^bits slots (paper Section V-B.5):
+// recorded in arrays of 2^log2Slots slots (paper Section V-B.5):
 //
-//	P_fp = (1 - e^(-n/2^bits))^k
+//	P_fp = (1 - e^(-n/2^log2Slots))^k
+//
+// log2Slots is Config.Bits, the base-2 logarithm of the per-array table
+// width — an exponent, not a data quantity measured in bits.
 //
 // floc:eq V-B.5 (false-positive rate)
-func FalsePositiveRate(n int, bits, k int) float64 {
-	if k < 1 || bits < 1 || n <= 0 {
+// floc:unit return ratio
+func FalsePositiveRate(n int, log2Slots, k int) float64 {
+	if k < 1 || log2Slots < 1 || n <= 0 {
 		return 0
 	}
-	load := float64(n) / float64(uint64(1)<<bits)
+	load := float64(n) / float64(uint64(1)<<log2Slots)
 	return math.Pow(1-math.Exp(-load), float64(k))
 }
 

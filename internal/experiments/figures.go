@@ -131,6 +131,7 @@ func Fig3(scale float64, seed uint64) (*Table, error) {
 // Fig4 reproduces the token-request model illustration: the aggregate
 // window (token request) of n flows across one congestion epoch for each
 // synchronization mode, plus achievable utilization.
+// floc:unit w packets
 func Fig4(n int, w float64) *Table {
 	t := &Table{
 		Title:   "Fig.4: aggregate token request vs epoch phase (packets)",

@@ -5,6 +5,7 @@ import (
 	"floc/internal/netsim"
 	"floc/internal/stats"
 	"floc/internal/topology"
+	"floc/internal/units"
 )
 
 // FlowClass categorizes a flow for the differential-guarantee metrics.
@@ -42,13 +43,13 @@ type Measurement struct {
 	PerPathBits map[string]*stats.TimeSeries
 	// FlowBits accumulates per-flow delivered bits within the
 	// measurement window.
-	FlowBits map[netsim.FlowID]float64
+	FlowBits map[netsim.FlowID]float64 //floc:unit bits
 	// FlowClasses labels each observed flow.
 	FlowClasses map[netsim.FlowID]FlowClass
 	// FlowPaths records each observed flow's path identifier key.
 	FlowPaths map[netsim.FlowID]string
 	// ClassBits accumulates per-class delivered bits within the window.
-	ClassBits map[FlowClass]float64
+	ClassBits map[FlowClass]float64 //floc:unit bits
 	// SizeHist counts delivered packet sizes over the whole run (Fig. 3).
 	SizeHist *stats.Histogram
 	// ServiceSeries and DropSeries count packets serviced and dropped
@@ -58,11 +59,11 @@ type Measurement struct {
 	// Filled by finish:
 
 	// TargetBits is the target link capacity.
-	TargetBits float64
+	TargetBits float64 //floc:unit bits/s
 	// Window is the measurement window length in seconds.
-	Window float64
+	Window float64 //floc:unit seconds
 	// Utilization is delivered bits in the window / capacity.
-	Utilization float64
+	Utilization float64 //floc:unit ratio
 	// AttackPathKeys marks the contaminated domains' path keys.
 	AttackPathKeys map[string]bool
 	// LeafKeys[i] is leaf domain i's path identifier key.
@@ -76,10 +77,12 @@ type Measurement struct {
 	// limiters (Pushback with upstream propagation only).
 	PushbackUpstreamDrops int
 
-	measureFrom, measureTo float64
+	measureFrom, measureTo float64 //floc:unit seconds
 }
 
 // newMeasurement wires delivery/drop hooks onto the tree's target link.
+// floc:unit from seconds
+// floc:unit to seconds
 func newMeasurement(tree *topology.Tree, attackLeaves []int, from, to float64) *Measurement {
 	m := &Measurement{
 		PerPathBits:    map[string]*stats.TimeSeries{},
@@ -108,7 +111,7 @@ func newMeasurement(tree *topology.Tree, attackLeaves []int, from, to float64) *
 		if pkt.Kind != netsim.KindData && pkt.Kind != netsim.KindUDP {
 			return
 		}
-		bits := float64(pkt.Size * 8)
+		bits := float64(units.FromPacket(pkt.Size))
 		key := pkt.PathKey
 		if key == "" {
 			key = pkt.Path.Key()
@@ -151,7 +154,7 @@ func (m *Measurement) classify(pkt *netsim.Packet, pathKey string) FlowClass {
 // finish computes derived metrics after the run.
 func (m *Measurement) finish(sc Scenario, flocRtr *core.Router) {
 	m.Window = m.measureTo - m.measureFrom
-	total := 0.0
+	total := 0.0 //floc:unit bits
 	for _, bits := range m.ClassBits {
 		total += bits
 	}
@@ -166,6 +169,7 @@ func (m *Measurement) finish(sc Scenario, flocRtr *core.Router) {
 }
 
 // ClassShare returns a class's fraction of link capacity over the window.
+// floc:unit return ratio
 func (m *Measurement) ClassShare(c FlowClass) float64 {
 	if m.TargetBits <= 0 || m.Window <= 0 {
 		return 0
@@ -199,6 +203,9 @@ func (m *Measurement) FlowBandwidthCDFForPaths(c FlowClass, keep func(pathKey st
 
 // PathBandwidth returns a path's mean delivered bandwidth (bits/s) over
 // [from, to].
+// floc:unit from seconds
+// floc:unit to seconds
+// floc:unit return bits/s
 func (m *Measurement) PathBandwidth(pathKey string, from, to float64) float64 {
 	ts := m.PerPathBits[pathKey]
 	if ts == nil || to <= from {

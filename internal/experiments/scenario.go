@@ -191,7 +191,7 @@ func build(sc Scenario) (*built, error) {
 	}
 	net := netsim.New(sc.Seed)
 
-	targetBits := paperTargetBits * sc.Scale
+	targetBits := paperTargetBits * sc.Scale //floc:unit bits/s
 	bufPkts := int(targetBits * bufferSecs / 8 / 1000)
 	if bufPkts < 50 {
 		bufPkts = 50
@@ -293,6 +293,7 @@ func scaleCount(n int, scale float64) int {
 }
 
 // buildDefense constructs the discipline for the target link.
+// floc:unit targetBits bits/s
 func (b *built) buildDefense(targetBits float64, bufPkts int) (netsim.Discipline, error) {
 	sc := b.sc
 	switch sc.Defense {

@@ -68,7 +68,7 @@ type Packet struct {
 	ID   uint64
 	Src  uint32
 	Dst  uint32
-	Size int // bytes, including headers
+	Size int //floc:unit bytes (including headers)
 	Kind PacketKind
 	Seq  int // data sequence number (packets, not bytes)
 	Ack  int // cumulative acknowledgment
@@ -90,7 +90,7 @@ type Packet struct {
 	Priority bool
 
 	// SentAt is the time the packet left its origin.
-	SentAt float64
+	SentAt float64 //floc:unit seconds
 }
 
 // Flow returns the packet's flow identity.

@@ -27,6 +27,9 @@ const Epsilon = 3.4641016151377544 // sqrt(12)
 // average window is (3/4)W and bw = (3/4)*W/RTT, giving W = 4*bw*RTT/3.
 //
 // floc:eq IV-A (W = 4*c*RTT/3)
+// floc:unit bw packets/s
+// floc:unit rtt seconds
+// floc:unit return packets
 func PeakWindow(bw, rtt float64) float64 {
 	if bw <= 0 || rtt <= 0 {
 		return 0
@@ -39,6 +42,9 @@ func PeakWindow(bw, rtt float64) float64 {
 // rtt seconds.
 //
 // floc:eq IV-A (c = 3*W/(4*RTT))
+// floc:unit w packets
+// floc:unit rtt seconds
+// floc:unit return packets/s
 func FlowBandwidth(w, rtt float64) float64 {
 	if rtt <= 0 {
 		return 0
@@ -49,17 +55,17 @@ func FlowBandwidth(w, rtt float64) float64 {
 // Params are the token-bucket parameters computed for one path identifier.
 type Params struct {
 	// Period is the token generation period T_Si in seconds (Eq. IV.1).
-	Period float64
+	Period float64 //floc:unit seconds
 	// Bucket is the ideal bucket size N_Si in tokens (packets), Eq. (IV.2).
-	Bucket float64
+	Bucket float64 //floc:unit tokens
 	// BucketBurst is the burst-tolerant size N'_Si >= Bucket (Eq. IV.3)
 	// used in congested (non-flooding) mode.
-	BucketBurst float64
+	BucketBurst float64 //floc:unit tokens
 	// Window is the per-flow peak window W_i implied by the fair share.
-	Window float64
+	Window float64 //floc:unit packets
 	// RefMTD is the reference mean-time-to-drop n_i*T_Si of a legitimate
 	// flow of this path.
-	RefMTD float64
+	RefMTD float64 //floc:unit seconds
 }
 
 // Compute derives the token-bucket parameters for a path identifier S_i
@@ -77,6 +83,8 @@ type Params struct {
 // below from the two moments rather than a collapsed constant.
 //
 // floc:eq IV.1 IV.2 IV.3
+// floc:unit c packets/s
+// floc:unit rtt seconds
 func Compute(c float64, n int, rtt float64) (Params, error) {
 	if c <= 0 {
 		return Params{}, fmt.Errorf("tcpmodel: non-positive bandwidth %v", c)
@@ -89,7 +97,8 @@ func Compute(c float64, n int, rtt float64) (Params, error) {
 	}
 	nf := float64(n)
 	w := PeakWindow(c/nf, rtt)
-	period := (w / 2) * rtt / nf // == (2/3)*c*rtt^2/n^2
+	//floclint:allow units W/2 counts RTTs per congestion epoch, so (W/2)*RTT/n is a time (Eq. IV.1)
+	period := (w / 2) * rtt / nf //floc:unit seconds == (2/3)*c*rtt^2/n^2
 	bucket := c * period
 
 	// Coefficient of variation of the aggregate window request:
@@ -124,10 +133,13 @@ func SyncBucketFactor() float64 { return 4.0 / 3.0 }
 // the window climbs from W/2 to W.
 //
 // floc:eq V-B.1 (gamma = 8/(3*W*(W+2)))
+// floc:unit w packets
+// floc:unit return ratio
 func DropRatio(w float64) float64 {
 	if w <= 0 {
 		return 1
 	}
+	//floclint:allow units the numerator counts drops (packets); drops per packets sent is a ratio
 	return 8 / (3 * w * (w + 2))
 }
 
@@ -136,6 +148,8 @@ func DropRatio(w float64) float64 {
 // of 3*gamma*W^2 + 6*gamma*W - 8 = 0).
 //
 // floc:eq V-B.1 (inverse)
+// floc:unit gamma ratio
+// floc:unit return packets
 func WindowFromDropRatio(gamma float64) float64 {
 	if gamma <= 0 {
 		return math.Inf(1)
@@ -143,7 +157,8 @@ func WindowFromDropRatio(gamma float64) float64 {
 	if gamma >= 1 {
 		return smallestWindow
 	}
-	w := (-6*gamma + math.Sqrt(36*gamma*gamma+96*gamma)) / (6 * gamma)
+	//floclint:allow units inverse of DropRatio: the positive root is the window in packets
+	w := (-6*gamma + math.Sqrt(36*gamma*gamma+96*gamma)) / (6 * gamma) //floc:unit packets
 	if w < smallestWindow {
 		return smallestWindow
 	}
@@ -157,6 +172,9 @@ const smallestWindow = 1
 // aggregate with request rate lambda packets/s and drop ratio gamma.
 //
 // floc:eq V-B.1 (delta = lambda*gamma)
+// floc:unit lambda packets/s
+// floc:unit gamma ratio
+// floc:unit return packets/s
 func DropRate(lambda, gamma float64) float64 {
 	if lambda <= 0 || gamma <= 0 {
 		return 0
@@ -171,6 +189,10 @@ func DropRate(lambda, gamma float64) float64 {
 // it requires only the aggregate drop ratio, not per-flow state.
 //
 // floc:eq V-B.1 (n = 4*c*RTT/(3*W))
+// floc:unit c packets/s
+// floc:unit rtt seconds
+// floc:unit w packets
+// floc:unit return ratio
 func EstimateFlows(c, rtt, w float64) float64 {
 	if w <= 0 {
 		return 0
@@ -184,10 +206,14 @@ func EstimateFlows(c, rtt, w float64) float64 {
 // negative time.
 //
 // floc:eq IV-B (MTD = W/2 * RTT)
+// floc:unit w packets
+// floc:unit rtt seconds
+// floc:unit return seconds
 func MTD(w, rtt float64) float64 {
 	if w <= 0 || rtt <= 0 {
 		return 0
 	}
+	//floclint:allow units W/2 counts RTTs between drops, so (W/2)*RTT is a time (Eq. IV-B)
 	return w / 2 * rtt
 }
 
@@ -225,6 +251,9 @@ func (m SyncMode) String() string {
 // W/2 RTTs between a flow's drops; phase advances linearly with time.
 //
 // The curves correspond to the lower graphs of paper Fig. 4.
+// floc:unit w packets
+// floc:unit t ratio
+// floc:unit return packets
 func AggregateRequest(mode SyncMode, n int, w float64, t float64) float64 {
 	t -= math.Floor(t)
 	nf := float64(n)

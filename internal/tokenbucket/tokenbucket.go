@@ -18,25 +18,27 @@ import (
 
 // Bucket is a periodic token bucket. It is not safe for concurrent use.
 type Bucket struct {
-	period float64 // token generation period T_Si (seconds)
-	size   float64 // tokens generated per period (N_Si or N'_Si)
+	period float64 //floc:unit seconds
+	size   float64 //floc:unit tokens
 
-	tokens      float64 // remaining tokens in the current period
-	periodStart float64 // start time of the current period
+	tokens      float64 //floc:unit tokens
+	periodStart float64 //floc:unit seconds
 	started     bool
 
 	// Per-period measurement counters, reset on each refill.
-	requested float64 // tokens requested this period
-	denied    float64 // tokens denied this period
+	requested float64 //floc:unit tokens
+	denied    float64 //floc:unit tokens
 
 	// Cumulative counters since creation or last ResetStats.
-	totalRequested float64
-	totalGranted   float64
-	totalDenied    float64
+	totalRequested float64 //floc:unit tokens
+	totalGranted   float64 //floc:unit tokens
+	totalDenied    float64 //floc:unit tokens
 	totalPeriods   int
 }
 
 // New returns a bucket generating size tokens every period seconds.
+// floc:unit period seconds
+// floc:unit size tokens
 func New(period, size float64) (*Bucket, error) {
 	b := &Bucket{}
 	if err := b.SetParams(period, size); err != nil {
@@ -48,6 +50,8 @@ func New(period, size float64) (*Bucket, error) {
 // SetParams reconfigures the bucket. The new parameters take effect at the
 // next period rollover; the current period's remaining tokens are clamped
 // to the new size.
+// floc:unit period seconds
+// floc:unit size tokens
 func (b *Bucket) SetParams(period, size float64) error {
 	if period <= 0 {
 		return fmt.Errorf("tokenbucket: non-positive period %v", period)
@@ -64,12 +68,15 @@ func (b *Bucket) SetParams(period, size float64) error {
 }
 
 // Period returns the configured token generation period.
+// floc:unit return seconds
 func (b *Bucket) Period() float64 { return b.period }
 
 // Size returns the configured tokens per period.
+// floc:unit return tokens
 func (b *Bucket) Size() float64 { return b.size }
 
 // advance rolls the bucket forward to now, refilling at period boundaries.
+// floc:unit now seconds
 func (b *Bucket) advance(now float64) {
 	if !b.started {
 		b.started = true
@@ -100,6 +107,8 @@ func (b *Bucket) advance(now float64) {
 // Take requests n tokens at time now. It returns true and consumes the
 // tokens if the current period still has n available, false otherwise
 // (consuming nothing).
+// floc:unit now seconds
+// floc:unit n tokens
 func (b *Bucket) Take(now, n float64) bool {
 	b.advance(now)
 	b.requested += n
@@ -123,6 +132,8 @@ func (b *Bucket) Take(now, n float64) bool {
 }
 
 // Available returns the tokens remaining in the period containing now.
+// floc:unit now seconds
+// floc:unit return tokens
 func (b *Bucket) Available(now float64) float64 {
 	b.advance(now)
 	return b.tokens
@@ -130,6 +141,8 @@ func (b *Bucket) Available(now float64) float64 {
 
 // PeriodRequested returns the tokens requested so far in the current
 // period (after advancing to now).
+// floc:unit now seconds
+// floc:unit return tokens
 func (b *Bucket) PeriodRequested(now float64) float64 {
 	b.advance(now)
 	return b.requested
@@ -137,6 +150,8 @@ func (b *Bucket) PeriodRequested(now float64) float64 {
 
 // Stats returns cumulative request/denial counts and the number of periods
 // elapsed since creation (or ResetStats).
+// floc:unit requested tokens
+// floc:unit denied tokens
 func (b *Bucket) Stats() (requested, denied float64, periods int) {
 	return b.totalRequested, b.totalDenied, b.totalPeriods
 }
@@ -155,4 +170,5 @@ func (b *Bucket) ResetStats() {
 
 // Rate returns the long-run admitted rate implied by the configuration:
 // size/period tokens per second.
+// floc:unit return tokens/s
 func (b *Bucket) Rate() float64 { return b.size / b.period }

@@ -18,15 +18,15 @@ type TreeConfig struct {
 	// giving 27 leaf domains (paths).
 	Height, Degree int
 	// TargetRateBits is the flooded link's capacity (paper: 500 Mb/s).
-	TargetRateBits float64
+	TargetRateBits float64 //floc:unit bits/s
 	// InnerRateBits is the capacity of interior tree links; they must not
 	// be the bottleneck (default: 4x the target link).
-	InnerRateBits float64
+	InnerRateBits float64 //floc:unit bits/s
 	// HopDelay is the per-link propagation delay in seconds.
-	HopDelay float64
+	HopDelay float64 //floc:unit seconds
 	// DelayJitterFrac perturbs each interior link's delay by up to this
 	// fraction so paths have distinct RTTs.
-	DelayJitterFrac float64
+	DelayJitterFrac float64 //floc:unit ratio
 	// BufferPackets is the queue capacity of interior and reverse links.
 	BufferPackets int
 	// NumServers is how many destination hosts sit behind the target link
@@ -169,7 +169,7 @@ func NewTree(net *netsim.Network, cfg TreeConfig, disc netsim.Discipline) (*Tree
 				asCounter++
 				fwd := netsim.NewRouter(fmt.Sprintf("f%d", as))
 				rev := netsim.NewRouter(fmt.Sprintf("r%d", as))
-				d := cfg.HopDelay * jitter()
+				d := cfg.HopDelay * jitter() //floc:unit seconds
 				path := append(pathid.PathID{as}, parent.path...)
 				var upDisc netsim.Discipline
 				if cfg.UplinkDisc != nil {

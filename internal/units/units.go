@@ -1,0 +1,67 @@
+// Package units is FLoc's typed-quantity layer: defined float64 types for
+// the physical dimensions the paper's equations mix (bits, bits/second,
+// packets/second, seconds), so that the Go compiler rejects the unit slips
+// — adding a rate to an amount, treating a byte count as a bit count —
+// that untyped float64 arithmetic hides.
+//
+// The package pairs with cmd/floclint's "units" rule: hot paths use these
+// types directly (compiler-checked); cooler seams carry //floc:unit
+// directives on plain float64s (lint-checked). The dimension vocabulary
+// shared by both is documented in DESIGN.md ("Static analysis").
+//
+// FromPacket is the single blessed bytes→bits conversion. Code outside
+// this package must not hand-roll `size * 8`: the repeated inline factor
+// is exactly the seam where packets, bytes, and bits were historically
+// confused, and floclint flags it when the result flows into an annotated
+// bits sink.
+package units
+
+// Bits is an amount of data in bits.
+type Bits float64
+
+// BitsPerSec is a data rate in bits per second.
+type BitsPerSec float64
+
+// PacketsPerSec is a packet (or token: one token admits one reference
+// packet, Section III-D) rate in packets per second.
+type PacketsPerSec float64
+
+// Seconds is a duration in seconds of simulation time.
+type Seconds float64
+
+// bitsPerByte is the one place in the repository where the 8 lives.
+const bitsPerByte = 8
+
+// FromPacket returns the wire size of a packet of sizeBytes bytes, in
+// bits. It is the single blessed bytes→bits conversion; every discipline
+// that meters traffic volume goes through it.
+func FromPacket(sizeBytes int) Bits { return Bits(sizeBytes) * bitsPerByte }
+
+// Per returns the rate that delivers b bits in t seconds. A non-positive
+// duration yields 0: amounts observed over an empty window carry no rate.
+func (b Bits) Per(t Seconds) BitsPerSec {
+	if t <= 0 {
+		return 0
+	}
+	return BitsPerSec(float64(b) / float64(t))
+}
+
+// Times returns the amount accumulated at rate r over t seconds.
+func (r BitsPerSec) Times(t Seconds) Bits {
+	if t <= 0 {
+		return 0
+	}
+	return Bits(float64(r) * float64(t))
+}
+
+// Scale returns the rate scaled by the dimensionless factor f (water-fill
+// shares, release factors, utilization targets).
+func (r BitsPerSec) Scale(f float64) BitsPerSec { return BitsPerSec(float64(r) * f) }
+
+// Times returns the packet count accumulated at rate r over t seconds.
+func (r PacketsPerSec) Times(t Seconds) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return float64(r) * float64(t)
+}

@@ -1,0 +1,58 @@
+package units
+
+import "testing"
+
+func TestFromPacket(t *testing.T) {
+	if got := FromPacket(1000); got != 8000 {
+		t.Fatalf("FromPacket(1000) = %v, want 8000", got)
+	}
+	if got := FromPacket(0); got != 0 {
+		t.Fatalf("FromPacket(0) = %v, want 0", got)
+	}
+}
+
+func TestBitsPer(t *testing.T) {
+	if got := Bits(8000).Per(2); got != 4000 {
+		t.Fatalf("Bits(8000).Per(2) = %v, want 4000", got)
+	}
+	if got := Bits(8000).Per(0); got != 0 {
+		t.Fatalf("Bits(8000).Per(0) = %v, want 0", got)
+	}
+	if got := Bits(8000).Per(-1); got != 0 {
+		t.Fatalf("Bits(8000).Per(-1) = %v, want 0", got)
+	}
+}
+
+func TestBitsPerSecTimes(t *testing.T) {
+	if got := BitsPerSec(1e6).Times(0.1); got != 1e5 {
+		t.Fatalf("BitsPerSec(1e6).Times(0.1) = %v, want 1e5", got)
+	}
+	if got := BitsPerSec(1e6).Times(-0.1); got != 0 {
+		t.Fatalf("BitsPerSec(1e6).Times(-0.1) = %v, want 0", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := BitsPerSec(1000).Scale(0.5); got != 500 {
+		t.Fatalf("Scale(0.5) = %v, want 500", got)
+	}
+}
+
+func TestPacketsPerSecTimes(t *testing.T) {
+	if got := PacketsPerSec(125).Times(2); got != 250 {
+		t.Fatalf("PacketsPerSec(125).Times(2) = %v, want 250", got)
+	}
+	if got := PacketsPerSec(125).Times(0); got != 0 {
+		t.Fatalf("PacketsPerSec(125).Times(0) = %v, want 0", got)
+	}
+}
+
+// TestRoundTrip checks rate/amount composition is consistent.
+func TestRoundTrip(t *testing.T) {
+	amount := FromPacket(1500)
+	rate := amount.Per(0.5)
+	back := rate.Times(0.5)
+	if back != amount {
+		t.Fatalf("round trip: %v != %v", back, amount)
+	}
+}

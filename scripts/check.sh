@@ -5,13 +5,19 @@
 #   build        go build ./...
 #   format       gofmt -l (fails on any unformatted file)
 #   vet          go vet ./...
-#   floclint     repo-specific determinism/invariant rules (cmd/floclint)
+#   floclint     repo-specific determinism/invariant/units rules
+#                (cmd/floclint)
+#   fixtures     floclint -fixtures: every fixture WANT marker must be
+#                reported and every finding must have a marker, so the
+#                seeded-violation corpus cannot drift from the rules
 #   tests        go test ./...
 #   invariants   go test -tags flocinvariants ./... (hot-path assertions on)
 #   race         go test -race -short ./... (-short skips the multi-second
 #                single-threaded simulations, which race instrumentation
 #                slows ~15x past the package timeout)
 #   fuzz smoke   each fuzz target for FUZZTIME (default 10s)
+#
+# Each stage's wall-clock time is reported in a summary at the end.
 #
 # Environment:
 #   FUZZTIME=10s   per-target fuzz budget; set FUZZTIME=0 to skip fuzzing.
@@ -20,8 +26,25 @@ cd "$(dirname "$0")/.."
 
 run() { echo ">> $*" >&2; "$@"; }
 
-run go build ./...
+timings=""
+stage_name=""
+stage_t0=0
 
+begin() {
+    stage_name="$1"
+    stage_t0=$(date +%s)
+}
+
+end() {
+    timings="${timings}$(printf '%6ss  %s' "$(($(date +%s) - stage_t0))" "$stage_name")
+"
+}
+
+begin build
+run go build ./...
+end
+
+begin format
 echo ">> gofmt -l ." >&2
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -29,19 +52,41 @@ if [ -n "$unformatted" ]; then
     echo "$unformatted" >&2
     exit 1
 fi
+end
 
+begin vet
 run go vet ./...
+end
+
+begin floclint
 run go run ./cmd/floclint ./...
+end
+
+begin fixtures
+run go run ./cmd/floclint -fixtures cmd/floclint/testdata/src
+end
+
+begin tests
 run go test ./...
+end
+
+begin invariants
 run go test -tags flocinvariants ./...
+end
+
+begin race
 run go test -race -short ./...
+end
 
 FUZZTIME="${FUZZTIME:-10s}"
 if [ "$FUZZTIME" != "0" ]; then
+    begin "fuzz ($FUZZTIME/target)"
     run go test -run='^$' -fuzz='^FuzzFilterOps$' -fuzztime "$FUZZTIME" ./internal/dropfilter
     run go test -run='^$' -fuzz='^FuzzTreeOps$' -fuzztime "$FUZZTIME" ./internal/pathid
     run go test -run='^$' -fuzz='^FuzzParseKey$' -fuzztime "$FUZZTIME" ./internal/pathid
     run go test -run='^$' -fuzz='^FuzzCapability$' -fuzztime "$FUZZTIME" ./internal/capability
+    end
 fi
 
-echo "check.sh: all gates passed" >&2
+echo "check.sh: all gates passed; stage timings:" >&2
+printf '%s' "$timings" >&2
