@@ -1,0 +1,45 @@
+// Package telemetry seeds violations of the units rule at the
+// observability boundary: the telemetry package's annotated fields and
+// parameters (Event.Time, the PathSample quantities, the recorder bin
+// width) must reject mis-dimensioned values from importing packages.
+package telemetry
+
+import tel "floc/internal/telemetry"
+
+// StampPackets stamps an event with a packet count instead of sim-time.
+// floc:unit pkts packets
+func StampPackets(pkts float64) tel.Event {
+	return tel.Event{Time: pkts} // WANT units
+}
+
+// SampleAllocFromPeriod fills the packets/s allocation with a duration.
+// floc:unit period seconds
+func SampleAllocFromPeriod(period float64) tel.PathSample {
+	return tel.PathSample{AllocPackets: period} // WANT units
+}
+
+// SampleSwapped assigns a conformance ratio into the token-bucket size.
+// floc:unit conf ratio
+func SampleSwapped(conf float64) tel.PathSample {
+	var s tel.PathSample
+	s.BucketSize = conf // WANT units
+	return s
+}
+
+// BinWidthFromRate configures the recorder bin width with a rate.
+// floc:unit rate bits/s
+func BinWidthFromRate(rate float64) *tel.Recorder {
+	return tel.NewRecorder(rate) // WANT units
+}
+
+// OptionsFromTokens sets the bin-width option from a token count.
+// floc:unit toks tokens
+func OptionsFromTokens(toks float64) tel.Options {
+	return tel.Options{RecorderBinWidth: toks} // WANT units
+}
+
+// ElapsedMinusBins subtracts a packet count from the recorder bin width.
+// floc:unit n packets
+func ElapsedMinusBins(r *tel.Recorder, n float64) float64 {
+	return r.BinWidth() - n // WANT units
+}

@@ -1,0 +1,48 @@
+// Package telemetryclean exercises the same observability boundary as
+// the telemetry fixture with correctly dimensioned values: annotated
+// quantities propagate through the registry, trace, and recorder APIs
+// without findings.
+package telemetryclean
+
+import tel "floc/internal/telemetry"
+
+// Stamp records an admitted-packet event at sim-time now.
+// floc:unit now seconds
+func Stamp(t *tel.Telemetry, now float64) {
+	t.Emit(tel.Event{Time: now, Type: tel.EventPacketAdmitted, Path: "10-1"})
+}
+
+// Sample records one control-run observation with each quantity in its
+// declared dimension.
+// floc:unit now seconds
+// floc:unit period seconds
+// floc:unit alloc packets/s
+// floc:unit bucket tokens
+// floc:unit conf ratio
+func Sample(rec *tel.Recorder, now, period, alloc, bucket, conf float64) {
+	rec.Record(tel.PathSample{
+		Time:         now,
+		Path:         "10-1",
+		Conformance:  conf,
+		AllocPackets: alloc,
+		BucketSize:   bucket,
+		Period:       period,
+	})
+}
+
+// Span derives the recorder's covered time from its bin width: a
+// duration scaled by a dimensionless count stays a duration.
+// floc:unit return seconds
+func Span(rec *tel.Recorder, bins int) float64 {
+	return rec.BinWidth() * float64(bins)
+}
+
+// Observe feeds an annotated duration into a delay histogram and reads
+// the accumulated sum back.
+// floc:unit delay seconds
+func Observe(reg *tel.Registry, delay float64) float64 {
+	h := reg.Histogram("queue_delay_seconds", "per-packet delay", "seconds",
+		[]float64{0.01, 0.1})
+	h.Observe(delay)
+	return h.Sum()
+}

@@ -7,6 +7,15 @@
 //	flocsim -fig 8 -rates 0.2,0.4,0.8,1.6,2.4,3.2,4.0
 //	flocsim -fig 10 -fanouts 1,2,4,8,12,16,20
 //
+// Besides the figures, -scenario runs one attack scenario and prints the
+// router's snapshot, optionally with full observability output:
+//
+//	flocsim -scenario floc:cbr -metrics -trace out.ndjson
+//
+// -metrics appends the run's metric registry in Prometheus text format;
+// -trace writes the typed event trace (one JSON event per line), from
+// which the run's admission decisions replay exactly.
+//
 // Scale 1.0 reproduces the paper's full size (500 Mb/s target link, 810
 // legitimate sources, 360 bots, 80 simulated seconds) and takes several
 // minutes per run; the default 0.1 preserves all rate ratios and runs in
@@ -32,8 +41,20 @@ func main() {
 	fanouts := flag.String("fanouts", "1,4,8,12,20", "covert per-source fanouts (fig 10)")
 	format := flag.String("format", "tsv", "output format: tsv or json")
 	seeds := flag.String("seeds", "1,2,3", "comma-separated seeds for -fig rep")
+	scenario := flag.String("scenario", "", "run one scenario instead of a figure: defense:attack (e.g. floc:cbr)")
+	duration := flag.Float64("duration", 30, "scenario duration in simulated seconds (-scenario only)")
+	metrics := flag.Bool("metrics", false, "print the metric registry in Prometheus text format after the run (-scenario only)")
+	trace := flag.String("trace", "", "write the NDJSON event trace to this file (-scenario only)")
+	traceCap := flag.Int("tracecap", 1<<20, "event trace ring capacity (-trace only)")
 	flag.Parse()
 
+	if *scenario != "" {
+		if err := runScenario(*scenario, *scale, *seed, *duration, *metrics, *trace, *traceCap); err != nil {
+			fmt.Fprintln(os.Stderr, "flocsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -54,6 +75,67 @@ func main() {
 	default:
 		fmt.Print(table.String())
 	}
+}
+
+// parseScenario splits a "defense:attack" spec into its kinds.
+func parseScenario(spec string) (floc.DefenseKind, floc.AttackKind, error) {
+	def, atk, ok := strings.Cut(spec, ":")
+	if !ok || def == "" || atk == "" {
+		return "", "", fmt.Errorf("scenario %q not of the form defense:attack", spec)
+	}
+	return floc.DefenseKind(def), floc.AttackKind(atk), nil
+}
+
+// runScenario executes one scenario with the paper's FLoc defaults
+// (SMax 25, NMax 2) and prints the class shares plus, for FLoc, the
+// router snapshot; -metrics and -trace add the observability dumps.
+func runScenario(spec string, scale float64, seed uint64, duration float64, metrics bool, tracePath string, traceCap int) error {
+	def, atk, err := parseScenario(spec)
+	if err != nil {
+		return err
+	}
+	sc := floc.DefaultScenario(def, atk, scale)
+	sc.Seed = seed
+	sc.Duration = duration
+	sc.MeasureFrom = duration / 4
+	sc.SMax = 25
+	sc.NMax = 2
+	if tracePath != "" {
+		sc.TraceCapacity = traceCap
+	}
+	m, err := floc.RunScenario(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %s scale=%v seed=%d duration=%vs\n", spec, scale, seed, duration)
+	fmt.Printf("utilization=%.3f legit/legit-path=%.3f legit/attack-path=%.3f attack=%.3f\n",
+		m.Utilization,
+		m.ClassShare(floc.ClassLegitLegit),
+		m.ClassShare(floc.ClassLegitAttackPath),
+		m.ClassShare(floc.ClassAttack))
+	if def == floc.DefFLoc {
+		fmt.Print(m.FLocSnapshot.String())
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := m.Tel.Trace.WriteNDJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s (%d overwritten)\n",
+			m.Tel.Trace.Len(), tracePath, m.Tel.Trace.Overwritten())
+	}
+	if metrics {
+		fmt.Println()
+		return m.Tel.Registry.WriteText(os.Stdout)
+	}
+	return nil
 }
 
 func run(fig string, scale float64, seed uint64, rates, fanouts, seeds string) (*floc.Table, error) {

@@ -56,3 +56,18 @@ func TestRunFig4(t *testing.T) {
 		t.Fatal("empty table")
 	}
 }
+
+func TestParseScenario(t *testing.T) {
+	def, atk, err := parseScenario("floc:cbr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(def) != "floc" || string(atk) != "cbr" {
+		t.Fatalf("parsed %q:%q", def, atk)
+	}
+	for _, bad := range []string{"floc", ":cbr", "floc:", ""} {
+		if _, _, err := parseScenario(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}

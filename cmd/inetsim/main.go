@@ -28,6 +28,7 @@ func main() {
 	warmup := flag.Int("warmup", 0, "warmup ticks excluded from measurement (0 = default 200)")
 	seed := flag.Uint64("seed", 42, "random seed")
 	format := flag.String("format", "tsv", "output format: tsv or json")
+	metrics := flag.Bool("metrics", false, "print per-run registry counters in Prometheus text format after the table")
 	flag.Parse()
 
 	cfg, err := floc.DefaultInetFigConfig("fig"+*fig, *scale)
@@ -38,6 +39,9 @@ func main() {
 	cfg.Ticks = *ticks
 	cfg.WarmupTicks = *warmup
 	cfg.Seed = *seed
+	if *metrics {
+		cfg.Registry = floc.NewMetricsRegistry()
+	}
 	table, err := floc.FigInternet(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "inetsim:", err)
@@ -50,7 +54,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(string(out))
-		return
+	} else {
+		fmt.Print(table.String())
 	}
-	fmt.Print(table.String())
+	if *metrics {
+		fmt.Println()
+		if err := cfg.Registry.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "inetsim:", err)
+			os.Exit(1)
+		}
+	}
 }

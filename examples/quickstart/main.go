@@ -1,7 +1,7 @@
 // Quickstart: attach a FLoc router to a link, drive mixed legitimate and
 // attack traffic through it, and inspect the per-domain state FLoc
 // builds — path identifiers, conformance, attack flags, and token-bucket
-// parameters.
+// parameters — through the telemetry registry and event trace.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -13,14 +13,11 @@ import (
 	"floc"
 )
 
-// sink consumes delivered packets and counts them per path.
-type sink struct {
-	perPath map[string]int
-}
+// sink consumes delivered packets; the per-domain counts come from the
+// router's telemetry registry, not from a side tally.
+type sink struct{}
 
-func (s *sink) Receive(net *floc.Network, pkt *floc.Packet) {
-	s.perPath[pkt.Path.Key()]++
-}
+func (s *sink) Receive(net *floc.Network, pkt *floc.Packet) {}
 
 func main() {
 	// A 8 Mb/s link protected by FLoc with a 100-packet buffer.
@@ -28,9 +25,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The telemetry instance is the run's observability surface: atomic
+	// registry counters at every admission decision plus a bounded ring
+	// of typed events (mode changes, aggregations, classifications).
+	tel := floc.NewTelemetry(floc.TelemetryOptions{TraceCapacity: 1 << 16})
+	router.SetTelemetry(tel)
+
 	net := floc.NewNetwork(1)
-	dst := &sink{perPath: map[string]int{}}
-	link, err := floc.NewLink("protected", 8e6, 0.01, router, dst)
+	link, err := floc.NewLink("protected", 8e6, 0.01, router, &sink{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,9 +67,25 @@ func main() {
 		fmt.Printf("  path %-6s conformance=%.2f attack=%-5v alloc=%.0f pkt/s  T=%.1f ms\n",
 			info.Key, info.Conformance, info.Attack, info.AllocPackets, info.Period*1000)
 	}
-	fmt.Println("\nDelivered packets per domain over 20 s (10000 = full share):")
-	fmt.Printf("  conforming domain %s: %d\n", good.Key(), dst.perPath[good.Key()])
-	fmt.Printf("  flooding   domain %s: %d\n", bad.Key(), dst.perPath[bad.Key()])
+
+	reg := tel.Registry
+	admitted := func(path string) int64 {
+		return reg.CounterValue(`floc_path_admitted_packets_total{path="` + path + `"}`)
+	}
+	fmt.Println("\nAdmitted packets per domain over 20 s (10000 = full share):")
+	fmt.Printf("  conforming domain %s: %d\n", good.Key(), admitted(good.Key()))
+	fmt.Printf("  flooding   domain %s: %d\n", bad.Key(), admitted(bad.Key()))
 	fmt.Printf("\nDrops: %d total (%d preferential)\n",
-		router.TotalDrops(), router.Drops(floc.DropPreferential))
+		router.TotalDrops(),
+		reg.CounterValue(`floc_router_drops_total{reason="preferential"}`))
+
+	// The event trace journals every pipeline transition; count the
+	// queue-mode changes as a taste of what a replay can reconstruct.
+	modeChanges := 0
+	for _, e := range tel.Trace.Events() {
+		if e.Type == floc.EventModeChanged {
+			modeChanges++
+		}
+	}
+	fmt.Printf("trace: %d events, %d queue-mode changes\n", tel.Trace.Len(), modeChanges)
 }

@@ -6,6 +6,7 @@ import (
 
 	"floc/internal/invariant"
 	"floc/internal/pathid"
+	"floc/internal/telemetry"
 	"floc/internal/tokenbucket"
 )
 
@@ -17,7 +18,8 @@ import (
 // The plan is recomputed statelessly each control tick; aggregate states
 // (and their token buckets) are preserved across ticks when the plan is
 // unchanged, keyed by the aggregation node.
-func (r *Router) planAggregation() {
+// floc:unit now seconds
+func (r *Router) planAggregation(now float64) {
 	plan := map[string][]*pathState{}
 	kind := map[string]aggKind{}
 
@@ -33,7 +35,7 @@ func (r *Router) planAggregation() {
 		return
 	}
 	r.planSig = sig
-	r.applyPlan(plan, kind)
+	r.applyPlan(plan, kind, now)
 }
 
 type aggKind uint8
@@ -223,7 +225,19 @@ func (r *Router) legitAggregationBeneficial(members []*pathState) bool {
 
 // applyPlan rebuilds the aggregate states to match the plan, preserving
 // aggregates whose key (and hence aggregation point) is unchanged.
-func (r *Router) applyPlan(plan map[string][]*pathState, kind map[string]aggKind) {
+// floc:unit now seconds
+func (r *Router) applyPlan(plan map[string][]*pathState, kind map[string]aggKind, now float64) {
+	// Record the old membership before it is torn down so the telemetry
+	// diff can emit PathAggregated/PathReleased transitions.
+	var oldAgg map[string]string
+	if telemetry.Compiled && r.tel != nil {
+		oldAgg = make(map[string]string, len(r.origins))
+		for key, ps := range r.origins {
+			if ps.aggregate != nil {
+				oldAgg[key] = ps.aggregate.key
+			}
+		}
+	}
 	for _, ps := range r.origins {
 		ps.aggregate = nil
 	}
@@ -262,6 +276,32 @@ func (r *Router) applyPlan(plan map[string][]*pathState, kind map[string]aggKind
 		// conformance (Eq. IV.7 / IV.8 operate on [0, 1] values).
 		invariant.Conformance01("core.agg.conformance", agg.conformance)
 		r.aggs[key] = agg
+	}
+
+	if telemetry.Compiled && r.tel != nil {
+		for _, key := range sortedOriginKeys(r.origins) {
+			ps := r.origins[key]
+			newKey := ""
+			if ps.aggregate != nil {
+				newKey = ps.aggregate.key
+			}
+			prev := oldAgg[key]
+			if prev == newKey {
+				continue
+			}
+			if prev != "" {
+				r.tel.Emit(telemetry.Event{
+					Time: now, Type: telemetry.EventPathReleased,
+					Path: key, Agg: prev,
+				})
+			}
+			if newKey != "" {
+				r.tel.Emit(telemetry.Event{
+					Time: now, Type: telemetry.EventPathAggregated,
+					Path: key, Agg: newKey,
+				})
+			}
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"floc/internal/invariant"
 	"floc/internal/stats"
 	"floc/internal/tcpmodel"
+	"floc/internal/telemetry"
 )
 
 // runControl is FLoc's periodic measurement and control loop: flow expiry,
@@ -25,14 +26,19 @@ func (r *Router) runControl(now float64) {
 
 	r.expireFlows(now)
 	r.updateConformance(now)
-	r.planAggregation()
+	r.planAggregation(now)
 	r.recomputeParams(now, interval)
+
+	if telemetry.Compiled && r.tel != nil {
+		r.sampleControl(now)
+	}
 }
 
 // expireFlows drops idle flows and empty origin paths, and rolls the
 // per-flow admitted-rate meters.
 // floc:unit now seconds
 func (r *Router) expireFlows(now float64) {
+	var expired []string
 	for key, ps := range r.origins {
 		for fk, fs := range ps.flows {
 			if now-fs.lastSeen > r.cfg.FlowTimeout {
@@ -56,6 +62,16 @@ func (r *Router) expireFlows(now float64) {
 		if len(ps.flows) == 0 && ps.arrivedTokens == 0 && now-ps.createdAt > r.cfg.FlowTimeout {
 			delete(r.origins, key)
 			r.tree.Remove(ps.id)
+			if telemetry.Compiled && r.tel != nil {
+				expired = append(expired, key)
+			}
+		}
+	}
+	if telemetry.Compiled && r.tel != nil && len(expired) > 0 {
+		// The expiry loop walks a map; sort so the trace is deterministic.
+		sort.Strings(expired)
+		for _, key := range expired {
+			r.tel.Emit(telemetry.Event{Time: now, Type: telemetry.EventPathExpired, Path: key})
 		}
 	}
 }
@@ -66,6 +82,11 @@ func (r *Router) expireFlows(now float64) {
 // floc:eq IV.6
 // floc:unit now seconds
 func (r *Router) updateConformance(now float64) {
+	type flagged struct {
+		path string
+		hash uint64
+	}
+	var newlyFlagged []flagged
 	for _, ps := range r.origins {
 		eff := ps.effective()
 		fair := r.fairShare(eff)
@@ -76,10 +97,15 @@ func (r *Router) updateConformance(now float64) {
 			// drops (Section IV-B.2) or its offered rate persistently
 			// exceeds its fair share (the signal Eq. IV.5's bound acts
 			// on).
-			if st.Excess() >= r.cfg.AttackExcessThreshold ||
-				(fair > 0 && fs.arrivedRate > 1.5*fair) {
+			isAttack := st.Excess() >= r.cfg.AttackExcessThreshold ||
+				(fair > 0 && fs.arrivedRate > 1.5*fair)
+			if isAttack {
 				attack++
 			}
+			if telemetry.Compiled && r.tel != nil && isAttack && !fs.attackFlagged {
+				newlyFlagged = append(newlyFlagged, flagged{path: ps.key, hash: fs.hash})
+			}
+			fs.attackFlagged = isAttack
 		}
 		ps.attackFlows = attack
 		n := len(ps.flows)
@@ -95,6 +121,24 @@ func (r *Router) updateConformance(now float64) {
 			ps.leaf.Conformance = ps.conformance
 			ps.leaf.Flows = n
 			ps.leaf.Attack = ps.conformance < r.cfg.EThreshold
+		}
+	}
+	if telemetry.Compiled && r.tel != nil && len(newlyFlagged) > 0 {
+		// Classification walks maps; sort (path, flow) so the trace is
+		// deterministic.
+		sort.Slice(newlyFlagged, func(i, j int) bool {
+			if newlyFlagged[i].path != newlyFlagged[j].path {
+				return newlyFlagged[i].path < newlyFlagged[j].path
+			}
+			return newlyFlagged[i].hash < newlyFlagged[j].hash
+		})
+		for _, f := range newlyFlagged {
+			r.tel.Emit(telemetry.Event{
+				Time: now,
+				Type: telemetry.EventFlowClassifiedAttack,
+				Path: f.path,
+				Flow: f.hash,
+			})
 		}
 	}
 }
@@ -230,6 +274,8 @@ func (r *Router) recomputeParams(now, interval float64) {
 			m.attack = ps.attack
 		}
 
+		ps.intervalArrived = ps.arrivedTokens
+		ps.intervalDrops = ps.drops
 		ps.arrivedTokens = 0
 		ps.drops = 0
 	}
@@ -297,6 +343,11 @@ type PathInfo struct {
 	Bucket float64 //floc:unit tokens
 	// RTT is the path's raw measured RTT estimate.
 	RTT float64 //floc:unit seconds
+	// AdmittedPackets and DroppedPackets are the path's cumulative
+	// admission counters since creation (origin attribution: an
+	// aggregated path still counts its own packets).
+	AdmittedPackets int64 //floc:unit packets
+	DroppedPackets  int64 //floc:unit packets
 }
 
 // PathInfos returns per-origin-path state, sorted by key.
@@ -311,15 +362,17 @@ func (r *Router) PathInfos() []PathInfo {
 		ps := r.origins[k]
 		eff := ps.effective()
 		info := PathInfo{
-			Key:          ps.key,
-			Conformance:  ps.conformance,
-			Attack:       ps.attack,
-			Aggregated:   ps.aggregate != nil,
-			Flows:        len(ps.flows),
-			AttackFlows:  ps.attackFlows,
-			AllocPackets: eff.alloc,
-			Period:       eff.params.Period,
-			Bucket:       eff.params.Bucket,
+			Key:             ps.key,
+			Conformance:     ps.conformance,
+			Attack:          ps.attack,
+			Aggregated:      ps.aggregate != nil,
+			Flows:           len(ps.flows),
+			AttackFlows:     ps.attackFlows,
+			AllocPackets:    eff.alloc,
+			Period:          eff.params.Period,
+			Bucket:          eff.params.Bucket,
+			AdmittedPackets: ps.admittedPkts,
+			DroppedPackets:  ps.droppedPkts,
 		}
 		if ps.aggregate != nil {
 			info.AggregateKey = ps.aggregate.key

@@ -22,7 +22,8 @@ type Snapshot struct {
 	Paths []PathInfo
 	// Aggregates maps aggregate keys to member path keys.
 	Aggregates map[string][]string
-	// Admitted and Drops summarize lifetime counters.
+	// Arrived, Admitted and Drops summarize lifetime counters.
+	Arrived  int64
 	Admitted int64
 	Drops    map[string]int64
 	// FilterLive is the number of live drop records.
@@ -33,8 +34,11 @@ type Snapshot struct {
 	ControlRuns int
 }
 
-// dropReasonNames maps reasons to stable labels.
-var dropReasonNames = map[DropReason]string{
+// dropReasonNames maps reasons to stable labels. Being an array of
+// [numDropReasons] rather than a map, adding a DropReason without a label
+// leaves an empty string that the exhaustiveness test rejects — a reason
+// can no longer silently vanish from reports.
+var dropReasonNames = [numDropReasons]string{
 	DropNoToken:         "no-token",
 	DropRandomThreshold: "random-threshold",
 	DropPreferential:    "preferential",
@@ -42,11 +46,32 @@ var dropReasonNames = map[DropReason]string{
 	DropOverflow:        "overflow",
 }
 
+// String returns the reason's stable label, shared by Snapshot.Drops and
+// the telemetry PacketDropped event's Reason field.
+func (d DropReason) String() string {
+	if d < numDropReasons {
+		return dropReasonNames[d]
+	}
+	return "unknown"
+}
+
+// ParseDropReason maps a stable label back to its DropReason.
+func ParseDropReason(s string) (DropReason, bool) {
+	for i, name := range dropReasonNames {
+		if name == s {
+			return DropReason(i), true
+		}
+	}
+	return 0, false
+}
+
 // Snapshot captures the router's current state.
 func (r *Router) Snapshot() Snapshot {
 	drops := make(map[string]int64, int(numDropReasons))
-	for reason, name := range dropReasonNames {
-		drops[name] = r.dropCounts[reason]
+	// Iterate the reasons, not the label table: every reason below
+	// numDropReasons appears even if a label were missing.
+	for reason := DropReason(0); reason < numDropReasons; reason++ {
+		drops[reason.String()] = r.dropCounts[reason]
 	}
 	return Snapshot{
 		Mode:              r.Mode(),
@@ -56,6 +81,7 @@ func (r *Router) Snapshot() Snapshot {
 		GuaranteedPaths:   r.GuaranteedPathCount(),
 		Paths:             r.PathInfos(),
 		Aggregates:        r.Aggregates(),
+		Arrived:           r.arrived,
 		Admitted:          r.admitted,
 		Drops:             drops,
 		FilterLive:        r.filter.Live(),

@@ -11,6 +11,7 @@ import (
 	"floc/internal/rng"
 	"floc/internal/stats"
 	"floc/internal/tcpmodel"
+	"floc/internal/telemetry"
 	"floc/internal/tokenbucket"
 )
 
@@ -92,6 +93,10 @@ type flowState struct {
 	// do not respond to packet drops)" — and decays once the flow
 	// responds. Effective fair share = fair / escalation.
 	escalation float64 //floc:unit ratio
+
+	// attackFlagged tracks the last classification verdict so telemetry
+	// emits FlowClassifiedAttack only on the transition into attack.
+	attackFlagged bool
 }
 
 // offeredRate returns the flow's best current estimate of its send rate
@@ -138,6 +143,20 @@ type pathState struct {
 	arrivedTokens float64 //floc:unit tokens
 	drops         int
 	lambda        float64 //floc:unit tokens/s (smoothed request rate)
+
+	// Previous interval's measurements, stashed by recomputeParams for
+	// the telemetry recorder before the live counters reset.
+	intervalArrived float64 //floc:unit tokens
+	intervalDrops   int
+
+	// Cumulative per-origin-path counters (always maintained; cheap).
+	admittedPkts int64 //floc:unit packets
+	droppedPkts  int64 //floc:unit packets
+
+	// Pre-resolved registry handles, non-nil only while telemetry is
+	// attached (origin paths only).
+	telAdmitted *telemetry.Counter
+	telDropped  *telemetry.Counter
 
 	createdAt float64 //floc:unit seconds
 }
@@ -190,6 +209,13 @@ type Router struct {
 	admitted   int64
 	arrived    int64
 	epochFloor float64 //floc:unit seconds
+
+	// Observability (see telemetry.go). tel/met are nil when detached;
+	// lastMode backs the ModeChanged event edge detector.
+	tel      *telemetry.Telemetry
+	met      *routerMetrics
+	lastMode Mode
+	delayQ   timeQueue
 }
 
 var _ netsim.Discipline = (*Router)(nil)
@@ -219,6 +245,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		fifo:       netsim.NewFIFO(cfg.Capacity),
 		qmin:       qmin,
 		qmax:       float64(cfg.Capacity),
+		lastMode:   ModeUncongested,
 		tree:       pathid.NewTree(cfg.RouterAS),
 		origins:    map[string]*pathState{},
 		aggs:       map[string]*pathState{},
@@ -319,10 +346,16 @@ func (r *Router) origin(pkt *netsim.Packet, now float64) *pathState {
 	ps.bucket = bucket
 	ps.params = tcpmodel.Params{Period: r.cfg.ControlInterval, RefMTD: r.cfg.DefaultRTT}
 	r.origins[key] = ps
+	if telemetry.Compiled && r.tel != nil {
+		r.bindPathCounters(ps)
+	}
 	return ps
 }
 
 // Enqueue implements netsim.Discipline: the FLoc packet admission policy.
+// The queue-mode edge detector runs inside admit's and drop's telemetry
+// blocks — every packet ends in exactly one of the two — so it sees the
+// post-decision queue length without a wrapper call on the hot path.
 // floc:unit now seconds
 func (r *Router) Enqueue(pkt *netsim.Packet, now float64) bool {
 	if now-r.lastControl >= r.cfg.ControlInterval {
@@ -549,10 +582,59 @@ func (r *Router) admit(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, 
 		return false
 	}
 	r.admitted++
+	orig.admittedPkts++
 	if fs != nil && (pkt.Kind == netsim.KindData || pkt.Kind == netsim.KindUDP) {
 		fs.admitted += tokens
 	}
+	if telemetry.Compiled && r.tel != nil {
+		r.observeAdmit(orig, fs, now)
+	}
 	return true
+}
+
+// observeAdmit meters an admitted packet and emits its trace event. A
+// separate method so admit's disabled-telemetry path pays one branch and
+// keeps its pre-telemetry stack frame.
+// floc:unit now seconds
+func (r *Router) observeAdmit(orig *pathState, fs *flowState, now float64) {
+	// arrived == admitted + dropped, so metering it here and in drop
+	// spares the admission body a separate telemetry branch per packet.
+	r.met.arrived.Inc()
+	r.met.admitted.Inc()
+	orig.telAdmitted.Inc()
+	r.delayQ.push(now)
+	var flow uint64
+	if fs != nil {
+		flow = fs.hash
+	}
+	r.tel.Emit(telemetry.Event{
+		Time: now,
+		Type: telemetry.EventPacketAdmitted,
+		Path: orig.key,
+		Flow: flow,
+	})
+	r.noteMode(now)
+}
+
+// observeDrop meters a dropped packet and emits its trace event; the
+// same frame-size consideration as observeAdmit applies.
+// floc:unit now seconds
+func (r *Router) observeDrop(orig *pathState, fs *flowState, now float64, reason DropReason) {
+	r.met.arrived.Inc()
+	r.met.drops[reason].Inc()
+	orig.telDropped.Inc()
+	var flow uint64
+	if fs != nil {
+		flow = fs.hash
+	}
+	r.tel.Emit(telemetry.Event{
+		Time:   now,
+		Type:   telemetry.EventPacketDropped,
+		Path:   orig.key,
+		Flow:   flow,
+		Reason: reason.String(),
+	})
+	r.noteMode(now)
 }
 
 // epoch returns a path's congestion epoch (W/2 * RTT == RefMTD) for the
@@ -591,6 +673,10 @@ func (r *Router) filterK(eff *pathState) int {
 func (r *Router) drop(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, now float64, reason DropReason) {
 	r.dropCounts[reason]++
 	eff.drops++
+	orig.droppedPkts++
+	if telemetry.Compiled && r.tel != nil {
+		r.observeDrop(orig, fs, now, reason)
+	}
 	if reason == DropPreferential || reason == DropBlocked {
 		return
 	}
@@ -615,7 +701,25 @@ func (r *Router) drop(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, n
 }
 
 // Dequeue implements netsim.Discipline.
-func (r *Router) Dequeue(now float64) *netsim.Packet { return r.fifo.Dequeue(now) }
+// floc:unit now seconds
+func (r *Router) Dequeue(now float64) *netsim.Packet {
+	pkt := r.fifo.Dequeue(now)
+	if telemetry.Compiled && r.tel != nil && pkt != nil {
+		r.observeDequeue(now)
+	}
+	return pkt
+}
+
+// observeDequeue records the dequeued packet's queue delay and runs the
+// mode-edge detector; a separate method so Dequeue's disabled-telemetry
+// path stays small.
+// floc:unit now seconds
+func (r *Router) observeDequeue(now float64) {
+	if at := r.delayQ.pop(); !math.IsNaN(at) {
+		r.met.queueDelay.Observe(now - at)
+	}
+	r.noteMode(now)
+}
 
 // Len implements netsim.Discipline.
 func (r *Router) Len() int { return r.fifo.Len() }

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"floc/internal/netsim"
+	"floc/internal/pathid"
+	"floc/internal/telemetry"
+)
+
+// TestDropReasonExhaustiveness is the guard demanded by the label-table
+// refactor: every DropReason below numDropReasons must carry a stable,
+// unique, parseable label, and Snapshot must surface all of them even when
+// a reason has never fired.
+func TestDropReasonExhaustiveness(t *testing.T) {
+	seen := map[string]DropReason{}
+	for reason := DropReason(0); reason < numDropReasons; reason++ {
+		label := reason.String()
+		if label == "" || label == "unknown" {
+			t.Fatalf("drop reason %d has no stable label", reason)
+		}
+		if prev, dup := seen[label]; dup {
+			t.Fatalf("label %q reused by reasons %d and %d", label, prev, reason)
+		}
+		seen[label] = reason
+		back, ok := ParseDropReason(label)
+		if !ok || back != reason {
+			t.Fatalf("ParseDropReason(%q) = %v, %v; want %v", label, back, ok, reason)
+		}
+	}
+	if DropReason(250).String() != "unknown" {
+		t.Fatal("out-of-range reason must stringify as unknown")
+	}
+	if _, ok := ParseDropReason("nonsense"); ok {
+		t.Fatal("ParseDropReason must reject unknown labels")
+	}
+
+	r := newTestRouter(t, nil)
+	snap := r.Snapshot()
+	if len(snap.Drops) != int(numDropReasons) {
+		t.Fatalf("Snapshot.Drops has %d entries, want %d", len(snap.Drops), numDropReasons)
+	}
+	for reason := DropReason(0); reason < numDropReasons; reason++ {
+		if _, ok := snap.Drops[reason.String()]; !ok {
+			t.Fatalf("Snapshot.Drops missing %q", reason.String())
+		}
+	}
+}
+
+// TestEveryDropReasonHasEventLabel ties the drop-reason labels to the
+// telemetry event stream: a PacketDropped event's Reason must round-trip
+// back to the originating DropReason.
+func TestEveryDropReasonHasEventLabel(t *testing.T) {
+	r := newTestRouter(t, nil)
+	r.SetTelemetry(telemetry.New(telemetry.Options{TraceCapacity: 16}))
+	d := &driver{r: r}
+	path := pathid.New(7, 3)
+	// Overflow the 100-packet buffer without servicing: guarantees at
+	// least one drop event.
+	for i := 0; i < 300; i++ {
+		d.step(1e-4, []*netsim.Packet{mkpkt(1, 2, 1000, path)}, 0)
+	}
+	var sawDrop bool
+	for _, e := range r.Telemetry().Trace.Events() {
+		if e.Type != telemetry.EventPacketDropped {
+			continue
+		}
+		sawDrop = true
+		if _, ok := ParseDropReason(e.Reason); !ok {
+			t.Fatalf("drop event reason %q does not parse", e.Reason)
+		}
+	}
+	if !sawDrop {
+		t.Fatal("expected at least one PacketDropped event")
+	}
+}
+
+func TestTelemetryCountersMatchRouter(t *testing.T) {
+	r := newTestRouter(t, nil)
+	tel := telemetry.New(telemetry.Options{TraceCapacity: 1 << 16, Recorder: true})
+	r.SetTelemetry(tel)
+	d := &driver{r: r}
+	pathA := pathid.New(7, 3)
+	pathB := pathid.New(9, 4)
+	for i := 0; i < 3000; i++ {
+		d.step(5e-4, []*netsim.Packet{
+			mkpkt(1, 2, 1000, pathA),
+			mkpkt(3, 4, 1000, pathB),
+		}, 1)
+	}
+	reg := tel.Registry
+	if got, want := reg.CounterValue("floc_router_arrived_packets_total"), r.Snapshot().Arrived; got != want {
+		t.Fatalf("arrived counter = %d, router = %d", got, want)
+	}
+	if got, want := reg.CounterValue("floc_router_admitted_packets_total"), r.Admitted(); got != want {
+		t.Fatalf("admitted counter = %d, router = %d", got, want)
+	}
+	var dropSum int64
+	for reason := DropReason(0); reason < numDropReasons; reason++ {
+		c := reg.CounterValue(`floc_router_drops_total{reason="` + reason.String() + `"}`)
+		if c != r.Drops(reason) {
+			t.Fatalf("drop counter %q = %d, router = %d", reason.String(), c, r.Drops(reason))
+		}
+		dropSum += c
+	}
+	if dropSum != r.TotalDrops() {
+		t.Fatalf("drop counters sum %d, router total %d", dropSum, r.TotalDrops())
+	}
+
+	// Per-path labeled counters and PathInfo cumulative counters agree.
+	var admitted, dropped int64
+	for _, p := range r.PathInfos() {
+		a := reg.CounterValue(`floc_path_admitted_packets_total{path="` + p.Key + `"}`)
+		dr := reg.CounterValue(`floc_path_dropped_packets_total{path="` + p.Key + `"}`)
+		if a != p.AdmittedPackets || dr != p.DroppedPackets {
+			t.Fatalf("path %s registry (%d,%d) != PathInfo (%d,%d)",
+				p.Key, a, dr, p.AdmittedPackets, p.DroppedPackets)
+		}
+		admitted += a
+		dropped += dr
+	}
+	if admitted != r.Admitted() || dropped != r.TotalDrops() {
+		t.Fatalf("per-path sums (%d,%d) != router totals (%d,%d)",
+			admitted, dropped, r.Admitted(), r.TotalDrops())
+	}
+
+	if reg.CounterValue("floc_router_control_runs_total") != int64(r.ControlRuns()) {
+		t.Fatal("control-run counter out of sync")
+	}
+	if len(tel.Recorder.Samples()) == 0 {
+		t.Fatal("recorder got no control-run samples")
+	}
+}
+
+func TestModeChangedEvents(t *testing.T) {
+	r := newTestRouter(t, nil)
+	tel := telemetry.New(telemetry.Options{TraceCapacity: 1 << 16})
+	r.SetTelemetry(tel)
+	d := &driver{r: r}
+	path := pathid.New(7, 3)
+	// Fill without service to force uncongested -> congested -> flooding,
+	// then drain back down.
+	for i := 0; i < 200; i++ {
+		d.step(1e-4, []*netsim.Packet{mkpkt(1, 2, 1000, path)}, 0)
+	}
+	for i := 0; i < 200; i++ {
+		d.step(1e-3, nil, 2)
+	}
+	// Replay: mode starts uncongested; every transition is an event; the
+	// final event state must match the router.
+	mode := ModeUncongested.String()
+	transitions := 0
+	for _, e := range tel.Trace.Events() {
+		if e.Type == telemetry.EventModeChanged {
+			if e.Mode == mode {
+				t.Fatalf("ModeChanged event to the same mode %q", mode)
+			}
+			mode = e.Mode
+			transitions++
+		}
+	}
+	if transitions < 2 {
+		t.Fatalf("expected >= 2 mode transitions, got %d", transitions)
+	}
+	if mode != r.Mode().String() {
+		t.Fatalf("replayed mode %q, router mode %q", mode, r.Mode())
+	}
+}
+
+func TestQueueDelayObserved(t *testing.T) {
+	r := newTestRouter(t, nil)
+	tel := telemetry.New(telemetry.Options{})
+	r.SetTelemetry(tel)
+	d := &driver{r: r}
+	path := pathid.New(7, 3)
+	for i := 0; i < 50; i++ {
+		d.step(1e-3, []*netsim.Packet{mkpkt(1, 2, 1000, path)}, 1)
+	}
+	// Histogram() is get-or-create, so this fetches the live histogram.
+	h := tel.Registry.Histogram("floc_router_queue_delay_seconds", "", "", nil)
+	if h.Count() == 0 {
+		t.Fatal("queue delay histogram recorded no observations")
+	}
+	if h.Sum() < 0 {
+		t.Fatalf("negative total delay %v", h.Sum())
+	}
+}
+
+func TestSetTelemetryMidRunSkipsUnknownDelays(t *testing.T) {
+	r := newTestRouter(t, nil)
+	d := &driver{r: r}
+	path := pathid.New(7, 3)
+	// Queue 10 packets with telemetry off.
+	d.step(1e-3, []*netsim.Packet{
+		mkpkt(1, 2, 1000, path), mkpkt(1, 2, 1000, path), mkpkt(1, 2, 1000, path),
+	}, 0)
+	tel := telemetry.New(telemetry.Options{})
+	r.SetTelemetry(tel)
+	// Draining pre-attach packets must not panic or record bogus delays.
+	for i := 0; i < 5; i++ {
+		d.step(1e-3, nil, 1)
+	}
+	// One packet through after attach gives exactly one real observation.
+	d.step(1e-3, []*netsim.Packet{mkpkt(1, 2, 1000, path)}, 0)
+	d.step(1e-3, nil, 1)
+	// Detach is clean too.
+	r.SetTelemetry(nil)
+	if r.Telemetry() != nil {
+		t.Fatal("detach failed")
+	}
+	d.step(1e-3, []*netsim.Packet{mkpkt(1, 2, 1000, path)}, 1)
+}
+
+func TestTimeQueue(t *testing.T) {
+	var q timeQueue
+	if !math.IsNaN(q.pop()) {
+		t.Fatal("empty pop must return NaN")
+	}
+	for i := 0; i < 200; i++ {
+		q.push(float64(i))
+	}
+	for i := 0; i < 200; i++ {
+		if got := q.pop(); got != float64(i) {
+			t.Fatalf("pop %d = %v", i, got)
+		}
+	}
+	if !math.IsNaN(q.pop()) {
+		t.Fatal("exhausted pop must return NaN")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"floc/internal/netsim"
+	"floc/internal/telemetry"
 	"floc/internal/units"
 )
 
@@ -80,6 +81,7 @@ type Pushback struct {
 
 	limiterDrops int
 	activations  int
+	met          *pushbackMetrics // nil unless SetTelemetry attached a registry
 }
 
 var _ netsim.Discipline = (*Pushback)(nil)
@@ -215,12 +217,18 @@ func (p *Pushback) review(now float64) {
 	p.arrivals = 0
 	p.drops = 0
 	p.intervalStart = now
+	if telemetry.Compiled && p.met != nil {
+		p.met.limitedAggs.Set(float64(p.LimitedAggregates()))
+	}
 }
 
 // computeLimits water-fills: caps the largest aggregates at a common limit
 // L so the admitted total meets TargetUtil * LinkRateBits.
 func (p *Pushback) computeLimits() {
 	p.activations++
+	if telemetry.Compiled && p.met != nil {
+		p.met.activations.Inc()
+	}
 	type entry struct {
 		key  string
 		rate units.BitsPerSec // over the interval
@@ -299,6 +307,9 @@ func (p *Pushback) Enqueue(pkt *netsim.Packet, now float64) bool {
 		if a.tokens < bits {
 			p.limiterDrops++
 			p.drops++
+			if telemetry.Compiled && p.met != nil {
+				p.met.limiterDrops.Inc()
+			}
 			return false
 		}
 		a.tokens -= bits

@@ -12,6 +12,7 @@ import (
 
 	"floc/internal/netsim"
 	"floc/internal/rng"
+	"floc/internal/telemetry"
 )
 
 // REDConfig configures a RED queue (Floyd & Jacobson).
@@ -53,6 +54,7 @@ type RED struct {
 	idle   bool
 
 	drops int
+	met   *redMetrics // nil unless SetTelemetry attached a registry
 }
 
 var _ netsim.Discipline = (*RED)(nil)
@@ -113,12 +115,21 @@ func (r *RED) Enqueue(pkt *netsim.Packet, now float64) bool {
 			r.count = 0
 		}
 	}
+	if telemetry.Compiled && r.met != nil {
+		r.met.avgQueue.Set(r.avg)
+	}
 	if drop {
 		r.drops++
+		if telemetry.Compiled && r.met != nil {
+			r.met.drops.Inc()
+		}
 		return false
 	}
 	if !r.fifo.Enqueue(pkt, now) {
 		r.drops++
+		if telemetry.Compiled && r.met != nil {
+			r.met.drops.Inc()
+		}
 		r.count = 0
 		return false
 	}

@@ -61,6 +61,10 @@ type Filter struct {
 	mask  uint64
 	slots [][]record // [array][slot]
 	live  int        // number of non-empty records (approximate, for stats)
+
+	// Cumulative operation counters, for telemetry.
+	recordOps int64
+	queryOps  int64
 }
 
 // New creates a Filter. It validates the configuration.
@@ -198,6 +202,7 @@ func (f *Filter) decay(r *record, nowTicks, epochTicks uint32) {
 // floc:unit now seconds
 // floc:unit epoch seconds
 func (f *Filter) RecordDrop(h uint64, now, epoch float64, k int, weight uint32) {
+	f.recordOps++
 	if weight < 1 {
 		weight = 1
 	}
@@ -286,6 +291,7 @@ func (s State) PrefDropProb() float64 {
 // floc:unit now seconds
 // floc:unit epoch seconds
 func (f *Filter) Query(h uint64, now, epoch float64, k int) State {
+	f.queryOps++
 	nowTicks := f.ticks(now)
 	epochTicks := f.ticks(epoch)
 	if epochTicks == 0 {
@@ -342,7 +348,7 @@ func (f *Filter) decayCopy(r *record, nowTicks, epochTicks uint32) {
 	r.tl += epochs * epochTicks
 }
 
-// Reset clears all records.
+// Reset clears all records and the operation counters.
 func (f *Filter) Reset() {
 	for i := range f.slots {
 		for j := range f.slots[i] {
@@ -350,6 +356,14 @@ func (f *Filter) Reset() {
 		}
 	}
 	f.live = 0
+	f.recordOps = 0
+	f.queryOps = 0
+}
+
+// Counters returns the cumulative RecordDrop and Query operation counts
+// since creation (or Reset), for telemetry.
+func (f *Filter) Counters() (recordOps, queryOps int64) {
+	return f.recordOps, f.queryOps
 }
 
 // FalsePositiveRate returns the probability that a clean flow collides

@@ -83,7 +83,7 @@ func Fig2(scale float64, seed uint64) (*Table, error) {
 		Title:   "Fig.2: packet service rate vs drop rate (pkts/s), legitimate TCP only",
 		Columns: []string{"service_pps", "drop_pps", "drop_ratio"},
 	}
-	service, drops := m.ServiceSeries.Bins(), m.DropSeries.Bins()
+	service, drops := m.ServiceBins(), m.DropBins()
 	for i := 0; i < len(service); i++ {
 		d := 0.0
 		if i < len(drops) {

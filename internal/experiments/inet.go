@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"floc/internal/inetsim"
+	"floc/internal/telemetry"
 	"floc/internal/topology"
 )
 
@@ -43,6 +44,9 @@ type InetFigConfig struct {
 	// Ticks and WarmupTicks control the run length; 0 uses defaults.
 	Ticks, WarmupTicks int
 	Seed               uint64
+	// Registry, when non-nil, receives each simulation's counters labeled
+	// by "profile/variant" run.
+	Registry *telemetry.Registry
 }
 
 // DefaultInetFigConfig returns the configuration for one of the paper's
@@ -107,6 +111,9 @@ func FigInternet(cfg InetFigConfig) (*Table, error) {
 			sim, err := inetsim.New(scfg)
 			if err != nil {
 				return nil, err
+			}
+			if cfg.Registry != nil {
+				sim.SetTelemetry(cfg.Registry, fmt.Sprintf("%s/%s", profile, sc.Label))
 			}
 			res := sim.Run()
 			t.Rows = append(t.Rows, Row{

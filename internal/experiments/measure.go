@@ -4,6 +4,7 @@ import (
 	"floc/internal/core"
 	"floc/internal/netsim"
 	"floc/internal/stats"
+	"floc/internal/telemetry"
 	"floc/internal/topology"
 	"floc/internal/units"
 )
@@ -35,9 +36,22 @@ func (c FlowClass) String() string {
 	}
 }
 
+// Recorder series names for the target-link tallies (Fig. 2).
+const (
+	// SeriesService counts packets serviced per second at the target link.
+	SeriesService = "target_service"
+	// SeriesDrop counts packets dropped per second at the target link.
+	SeriesDrop = "target_drop"
+)
+
 // Measurement collects everything the figures need from one run, by
 // observing deliveries over the target link.
 type Measurement struct {
+	// Tel is the run's telemetry: the registry and recorder are always on
+	// (the recorder's series are the source of truth for the target-link
+	// tallies below); the event trace is enabled by Scenario.TraceCapacity.
+	Tel *telemetry.Telemetry
+
 	// PerPathBits accumulates delivered payload bits per path identifier
 	// in 1-second bins (full run, for Fig. 6 time series).
 	PerPathBits map[string]*stats.TimeSeries
@@ -52,9 +66,6 @@ type Measurement struct {
 	ClassBits map[FlowClass]float64 //floc:unit bits
 	// SizeHist counts delivered packet sizes over the whole run (Fig. 3).
 	SizeHist *stats.Histogram
-	// ServiceSeries and DropSeries count packets serviced and dropped
-	// per second at the target link (Fig. 2).
-	ServiceSeries, DropSeries *stats.TimeSeries
 
 	// Filled by finish:
 
@@ -73,6 +84,9 @@ type Measurement struct {
 	FLocPaths []core.PathInfo
 	// FLocAggregates snapshots FLoc's aggregates.
 	FLocAggregates map[string][]string
+	// FLocSnapshot is FLoc's end-of-run counter snapshot (zero value for
+	// other defenses).
+	FLocSnapshot core.Snapshot
 	// PushbackUpstreamDrops counts packets shed by propagated upstream
 	// limiters (Pushback with upstream propagation only).
 	PushbackUpstreamDrops int
@@ -81,18 +95,22 @@ type Measurement struct {
 }
 
 // newMeasurement wires delivery/drop hooks onto the tree's target link.
+// traceCap > 0 additionally enables the event trace ring.
 // floc:unit from seconds
 // floc:unit to seconds
-func newMeasurement(tree *topology.Tree, attackLeaves []int, from, to float64) *Measurement {
+func newMeasurement(tree *topology.Tree, attackLeaves []int, from, to float64, traceCap int) *Measurement {
 	m := &Measurement{
+		Tel: telemetry.New(telemetry.Options{
+			TraceCapacity:    traceCap,
+			Recorder:         true,
+			RecorderBinWidth: 1.0,
+		}),
 		PerPathBits:    map[string]*stats.TimeSeries{},
 		FlowBits:       map[netsim.FlowID]float64{},
 		FlowClasses:    map[netsim.FlowID]FlowClass{},
 		FlowPaths:      map[netsim.FlowID]string{},
 		ClassBits:      map[FlowClass]float64{},
 		SizeHist:       stats.NewHistogram(0, 1600, 40),
-		ServiceSeries:  stats.NewTimeSeries(1.0),
-		DropSeries:     stats.NewTimeSeries(1.0),
 		AttackPathKeys: map[string]bool{},
 		measureFrom:    from,
 		measureTo:      to,
@@ -105,8 +123,18 @@ func newMeasurement(tree *topology.Tree, attackLeaves []int, from, to float64) *
 	}
 	m.TargetBits = tree.Target.RateBits()
 
+	// Target-link tallies live in the telemetry recorder and registry; the
+	// handles are resolved once so the hooks stay allocation-free.
+	serviceSeries := m.Tel.Recorder.Series(SeriesService)
+	dropSeries := m.Tel.Recorder.Series(SeriesDrop)
+	delivered := m.Tel.Registry.Counter("floc_target_delivered_packets_total",
+		"packets serviced by the target link", "packets")
+	droppedAtTarget := m.Tel.Registry.Counter("floc_target_dropped_packets_total",
+		"packets dropped at the target link", "packets")
+
 	tree.Target.DeliverHook = func(pkt *netsim.Packet, now float64) {
-		m.ServiceSeries.Add(now, 1)
+		serviceSeries.Add(now, 1)
+		delivered.Inc()
 		m.SizeHist.Add(float64(pkt.Size))
 		if pkt.Kind != netsim.KindData && pkt.Kind != netsim.KindUDP {
 			return
@@ -135,9 +163,28 @@ func newMeasurement(tree *topology.Tree, attackLeaves []int, from, to float64) *
 		m.ClassBits[m.FlowClasses[flow]] += bits
 	}
 	tree.Target.DropHook = func(pkt *netsim.Packet, now float64) {
-		m.DropSeries.Add(now, 1)
+		dropSeries.Add(now, 1)
+		droppedAtTarget.Inc()
 	}
 	return m
+}
+
+// ServiceBins returns per-second packets serviced at the target link.
+func (m *Measurement) ServiceBins() []float64 { return m.Tel.Recorder.Series(SeriesService).Bins() }
+
+// DropBins returns per-second packets dropped at the target link.
+func (m *Measurement) DropBins() []float64 { return m.Tel.Recorder.Series(SeriesDrop).Bins() }
+
+// DeliveredPackets returns the registry's target-link service count.
+// floc:unit return packets
+func (m *Measurement) DeliveredPackets() int64 {
+	return m.Tel.Registry.CounterValue("floc_target_delivered_packets_total")
+}
+
+// DroppedPackets returns the registry's target-link drop count.
+// floc:unit return packets
+func (m *Measurement) DroppedPackets() int64 {
+	return m.Tel.Registry.CounterValue("floc_target_dropped_packets_total")
 }
 
 func (m *Measurement) classify(pkt *netsim.Packet, pathKey string) FlowClass {
@@ -164,6 +211,7 @@ func (m *Measurement) finish(sc Scenario, flocRtr *core.Router) {
 	if flocRtr != nil {
 		m.FLocPaths = flocRtr.PathInfos()
 		m.FLocAggregates = flocRtr.Aggregates()
+		m.FLocSnapshot = flocRtr.Snapshot()
 	}
 	_ = sc
 }

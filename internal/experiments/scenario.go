@@ -108,6 +108,10 @@ type Scenario struct {
 	// shared identifier. 0 means 1.0 (full deployment).
 	MarkingFraction float64
 
+	// TraceCapacity, when > 0, enables the telemetry event trace with a
+	// ring of that many events (the registry and recorder are always on).
+	TraceCapacity int
+
 	// Duration is total simulated seconds (paper: 80); measurement covers
 	// [MeasureFrom, Duration] (paper: 20..80).
 	Duration    float64
@@ -160,6 +164,7 @@ type built struct {
 	meas     *Measurement
 	flocRtr  *core.Router      // nil unless Defense == DefFLoc
 	pushback *defense.Pushback // nil unless Defense == DefPushback
+	red      *defense.RED      // nil unless Defense == DefRED
 	// unmarkedLeaf reports whether a leaf domain does not deploy path
 	// marking (nil = full deployment).
 	unmarkedLeaf func(leaf int) bool
@@ -231,7 +236,18 @@ func build(sc Scenario) (*built, error) {
 		smallLeaf[l] = true
 	}
 
-	b.meas = newMeasurement(tree, attackLeaves, sc.MeasureFrom, sc.Duration)
+	b.meas = newMeasurement(tree, attackLeaves, sc.MeasureFrom, sc.Duration, sc.TraceCapacity)
+
+	// Every defense that exposes a telemetry seam shares the run's registry
+	// so figures and dumps read one surface regardless of the discipline.
+	switch {
+	case b.flocRtr != nil:
+		b.flocRtr.SetTelemetry(b.meas.Tel)
+	case b.pushback != nil:
+		b.pushback.SetTelemetry(b.meas.Tel.Registry)
+	case b.red != nil:
+		b.red.SetTelemetry(b.meas.Tel.Registry)
+	}
 
 	// Incremental deployment: only the first MarkingFraction of leaf
 	// domains stamp path identifiers; the rest send unmarked traffic that
@@ -300,7 +316,12 @@ func (b *built) buildDefense(targetBits float64, bufPkts int) (netsim.Discipline
 	case DefDropTail:
 		return netsim.NewFIFO(bufPkts), nil
 	case DefRED:
-		return defense.NewRED(defense.DefaultREDConfig(bufPkts, sc.Seed+1))
+		r, err := defense.NewRED(defense.DefaultREDConfig(bufPkts, sc.Seed+1))
+		if err != nil {
+			return nil, err
+		}
+		b.red = r
+		return r, nil
 	case DefREDPD:
 		return defense.NewREDPD(defense.DefaultREDPDConfig(bufPkts, sc.Seed+1))
 	case DefPushback:

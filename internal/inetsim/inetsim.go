@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"floc/internal/rng"
+	"floc/internal/telemetry"
 	"floc/internal/topology"
 )
 
@@ -165,6 +166,7 @@ type Sim struct {
 	res    Result
 	tick   int
 	policy policy
+	met    *simMetrics // nil unless SetTelemetry attached a registry
 }
 
 // targetLink is the defended bottleneck.
@@ -273,7 +275,13 @@ func (s *Sim) Run() Result {
 		s.advanceFlows()
 		if s.tick%20 == 19 {
 			s.policy.control(s)
+			if telemetry.Compiled && s.met != nil {
+				s.publishTelemetry()
+			}
 		}
+	}
+	if telemetry.Compiled && s.met != nil {
+		s.publishTelemetry()
 	}
 	capacity := float64(s.cfg.CapacityPerTick) * float64(s.cfg.Ticks-s.cfg.WarmupTicks)
 	for c := 0; c < int(numClasses); c++ {

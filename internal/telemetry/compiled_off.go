@@ -1,0 +1,8 @@
+//go:build flocnotelemetry
+
+package telemetry
+
+// Compiled is false in builds tagged "flocnotelemetry": telemetry branches
+// guarded by `if telemetry.Compiled { ... }` are dead code and are removed
+// at compile time. This build is the baseline for the overhead benchmark.
+const Compiled = false

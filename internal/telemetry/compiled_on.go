@@ -1,0 +1,10 @@
+//go:build !flocnotelemetry
+
+package telemetry
+
+// Compiled is true in normal builds: instrumentation call sites guarded by
+// `if telemetry.Compiled && ... ` stay live. Building with the
+// "flocnotelemetry" tag flips it to false so the compiler eliminates every
+// telemetry branch, giving the zero-overhead baseline the telemetry-overhead
+// CI stage compares against.
+const Compiled = true

@@ -1,0 +1,333 @@
+// Package telemetry is FLoc's observability layer: a metrics registry cheap
+// enough for the per-packet hot path, a bounded ring buffer of typed
+// decision events with an NDJSON exporter, and a control-run time-series
+// recorder. The pipeline (router, control loop, drop filter, defenses,
+// experiment harness) emits into it; binaries surface it behind -metrics
+// and -trace flags.
+//
+// Everything here is passive and deterministic: the package never reads
+// clocks or random state, it only stamps what callers hand it (sim-time).
+// Counters and gauges are safe for concurrent use; Trace and Recorder are
+// single-writer like the simulator itself.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe for concurrent use and allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (which must be non-negative for the exposition to stay
+// monotone; this is not enforced on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down. All methods are safe
+// for concurrent use and allocation-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last value stored (zero before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with the Prometheus cumulative
+// bucket convention: bucket i counts observations <= bounds[i], with an
+// implicit +Inf bucket at the end. Observe is safe for concurrent use and
+// allocation-free.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, exclusive of +Inf
+	counts  []atomic.Int64
+	sumBits atomic.Uint64 // CAS-updated float64 running sum
+	n       atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Bounds returns a copy of the finite bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Counts returns the per-bucket (non-cumulative) counts; the final entry
+// is the +Inf bucket.
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+type metricKind uint8
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+type metricMeta struct {
+	kind metricKind
+	help string
+	unit string
+}
+
+// Registry is a get-or-create store of named metrics. Series names follow
+// the Prometheus text convention: a bare family name
+// ("floc_admitted_packets_total") or a family with a label set
+// ("floc_drops_total{reason=\"no_token\"}"). Registration takes a lock;
+// the returned handles are lock-free, so hot paths resolve their handles
+// once up front.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	families map[string]metricMeta
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		families: make(map[string]metricMeta),
+	}
+}
+
+// family strips a trailing {label="..."} block from a series name.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (r *Registry) register(name, help, unit string, kind metricKind) {
+	fam := family(name)
+	if m, ok := r.families[fam]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric family %q registered as %s and %s", fam, m.kind, kind))
+		}
+		return
+	}
+	r.families[fam] = metricMeta{kind: kind, help: help, unit: unit}
+}
+
+// Counter returns the counter registered under name, creating it with the
+// given help text and unit label on first use. Unit is documentation (e.g.
+// "packets", "bits/s"); dimension checking happens at the caller via
+// //floc:unit annotations.
+func (r *Registry) Counter(name, help, unit string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.register(name, help, unit, counterKind)
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help, unit string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.register(name, help, unit, gaugeKind)
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds on first use. Later calls ignore bounds.
+func (r *Registry) Histogram(name, help, unit string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.register(name, help, unit, histogramKind)
+	h := newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// CounterValue returns the value of the named counter, or 0 if it was
+// never registered. Intended for readers (reports, tests) that do not want
+// to force-create series.
+func (r *Registry) CounterValue(name string) int64 {
+	r.mu.Lock()
+	c := r.counters[name]
+	r.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Value()
+}
+
+// GaugeValue returns the value of the named gauge, or 0 if absent.
+func (r *Registry) GaugeValue(name string) float64 {
+	r.mu.Lock()
+	g := r.gauges[name]
+	r.mu.Unlock()
+	if g == nil {
+		return 0
+	}
+	return g.Value()
+}
+
+// Names returns every registered series name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders the registry in the Prometheus text exposition format,
+// series sorted by name so output is deterministic. Unit labels are folded
+// into the HELP line as a "[unit]" suffix.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	type series struct {
+		name string
+		kind metricKind
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+	}
+	all := make([]series, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n, c := range r.counters {
+		all = append(all, series{name: n, kind: counterKind, c: c})
+	}
+	for n, g := range r.gauges {
+		all = append(all, series{name: n, kind: gaugeKind, g: g})
+	}
+	for n, h := range r.hists {
+		all = append(all, series{name: n, kind: histogramKind, h: h})
+	}
+	fams := make(map[string]metricMeta, len(r.families))
+	for f, m := range r.families {
+		fams[f] = m
+	}
+	r.mu.Unlock()
+
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	var b strings.Builder
+	lastFam := ""
+	for _, s := range all {
+		fam := family(s.name)
+		if fam != lastFam {
+			meta := fams[fam]
+			help := meta.help
+			if meta.unit != "" {
+				help += " [" + meta.unit + "]"
+			}
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam, help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", fam, meta.kind)
+			lastFam = fam
+		}
+		switch s.kind {
+		case counterKind:
+			fmt.Fprintf(&b, "%s %d\n", s.name, s.c.Value())
+		case gaugeKind:
+			fmt.Fprintf(&b, "%s %s\n", s.name, formatFloat(s.g.Value()))
+		case histogramKind:
+			counts := s.h.Counts()
+			bounds := s.h.Bounds()
+			var cum int64
+			for i, n := range counts {
+				cum += n
+				le := "+Inf"
+				if i < len(bounds) {
+					le = formatFloat(bounds[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", s.name, le, cum)
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n", s.name, formatFloat(s.h.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", s.name, s.h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

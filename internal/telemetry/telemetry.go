@@ -1,0 +1,45 @@
+package telemetry
+
+// Options configures a Telemetry instance.
+type Options struct {
+	// TraceCapacity is the event ring size; 0 disables the trace.
+	TraceCapacity int
+	// RecorderBinWidth is the recorder time-series bin width in seconds
+	// (defaults to 1s when a recorder is enabled).
+	RecorderBinWidth float64 //floc:unit seconds
+	// Recorder enables the control-run time-series recorder.
+	Recorder bool
+}
+
+// Telemetry bundles the three observability surfaces. A nil *Telemetry is
+// the disabled state: producers guard emission with
+// `if telemetry.Compiled && t != nil`, so a disabled pipeline takes a
+// single predictable branch and allocates nothing.
+type Telemetry struct {
+	Registry *Registry
+	Trace    *Trace    // nil unless Options.TraceCapacity > 0
+	Recorder *Recorder // nil unless Options.Recorder
+}
+
+// New returns a Telemetry with a fresh registry and, per opts, a trace
+// ring and recorder.
+func New(opts Options) *Telemetry {
+	t := &Telemetry{Registry: NewRegistry()}
+	if opts.TraceCapacity > 0 {
+		t.Trace = NewTrace(opts.TraceCapacity)
+	}
+	if opts.Recorder {
+		t.Recorder = NewRecorder(opts.RecorderBinWidth)
+	}
+	return t
+}
+
+// Emit appends e to the trace if tracing is enabled. Safe on a nil
+// receiver and when the trace is disabled, so producers can call it
+// unconditionally off the hot path.
+func (t *Telemetry) Emit(e Event) {
+	if t == nil || t.Trace == nil {
+		return
+	}
+	t.Trace.Add(e)
+}

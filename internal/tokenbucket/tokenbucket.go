@@ -156,6 +156,12 @@ func (b *Bucket) Stats() (requested, denied float64, periods int) {
 	return b.totalRequested, b.totalDenied, b.totalPeriods
 }
 
+// TotalGranted returns the cumulative tokens granted since creation (or
+// ResetStats), completing the requested = granted + denied ledger for
+// telemetry.
+// floc:unit return tokens
+func (b *Bucket) TotalGranted() float64 { return b.totalGranted }
+
 // ResetStats zeroes the cumulative counters, e.g. at the start of a
 // measurement interval.
 func (b *Bucket) ResetStats() {

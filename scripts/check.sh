@@ -15,12 +15,22 @@
 #   race         go test -race -short ./... (-short skips the multi-second
 #                single-threaded simulations, which race instrumentation
 #                slows ~15x past the package timeout)
+#   telemetry-overhead
+#                BenchmarkFLocRouterEnqueue in the default build (telemetry
+#                compiled in but not attached) versus -tags flocnotelemetry
+#                (compiled out); fails if the disabled-telemetry hot path
+#                costs more than TELEMETRY_OVERHEAD_PCT (default 3) percent
+#                over the compiled-out baseline, comparing the median of
+#                paired back-to-back runs to damp scheduler noise
 #   fuzz smoke   each fuzz target for FUZZTIME (default 10s)
 #
 # Each stage's wall-clock time is reported in a summary at the end.
 #
 # Environment:
 #   FUZZTIME=10s   per-target fuzz budget; set FUZZTIME=0 to skip fuzzing.
+#   TELEMETRY_OVERHEAD_PCT=3
+#                  disabled-telemetry overhead budget in percent; set to 0
+#                  to skip the benchmark comparison.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -77,6 +87,47 @@ end
 begin race
 run go test -race -short ./...
 end
+
+TELEMETRY_OVERHEAD_PCT="${TELEMETRY_OVERHEAD_PCT:-3}"
+if [ "$TELEMETRY_OVERHEAD_PCT" != "0" ]; then
+    begin telemetry-overhead
+    echo ">> telemetry-overhead: BenchmarkFLocRouterEnqueue default vs -tags flocnotelemetry" >&2
+    run go test -c -o /tmp/floc-bench-default.test .
+    run go test -tags flocnotelemetry -c -o /tmp/floc-bench-notel.test .
+    # Paired comparison: the builds alternate back-to-back, each pair
+    # yields one overhead ratio, and the median ratio is the verdict.
+    # Pairing cancels machine phase drift (a slow phase hits both sides
+    # of a pair) and the median rejects outlier pairs, which single-shot
+    # or min-of-N comparisons of two separate binaries cannot.
+    bench_once() {
+        ns=$("$1" -test.run='^$' -test.bench='^BenchmarkFLocRouterEnqueue$' \
+            -test.benchtime=2000000x 2>/dev/null |
+            awk '/^BenchmarkFLocRouterEnqueue/ { print $3; exit }')
+        [ -n "$ns" ] || { echo "telemetry-overhead: no benchmark output from $1" >&2; exit 1; }
+        echo "$ns"
+    }
+    overheads="" i=0
+    while [ $i -lt 7 ]; do
+        base=$(bench_once /tmp/floc-bench-notel.test)
+        cur=$(bench_once /tmp/floc-bench-default.test)
+        overheads="$overheads $(awk -v b="$base" -v c="$cur" 'BEGIN { printf "%.3f", (c - b) / b * 100 }')"
+        i=$((i + 1))
+    done
+    rm -f /tmp/floc-bench-default.test /tmp/floc-bench-notel.test
+    echo "   pair overheads (%):$overheads" >&2
+    echo "$overheads" | tr ' ' '\n' | grep -v '^$' | sort -n |
+        awk -v p="$TELEMETRY_OVERHEAD_PCT" '
+            { a[NR] = $1 }
+            END {
+                med = a[int((NR + 1) / 2)]
+                printf "   median disabled-telemetry overhead %+.2f%% (budget %s%%)\n", med, p > "/dev/stderr"
+                exit med > p ? 1 : 0
+            }' || {
+        echo "telemetry-overhead: disabled-telemetry hot path exceeds ${TELEMETRY_OVERHEAD_PCT}% budget" >&2
+        exit 1
+    }
+    end
+fi
 
 FUZZTIME="${FUZZTIME:-10s}"
 if [ "$FUZZTIME" != "0" ]; then

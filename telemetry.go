@@ -1,0 +1,63 @@
+package floc
+
+import (
+	"io"
+
+	"floc/internal/telemetry"
+)
+
+// --- Observability: metrics registry, event trace, recorder ---
+
+// Telemetry bundles a run's observability surfaces: the metrics registry,
+// the bounded event trace, and the control-run time-series recorder.
+// Attach one to a Router with Router.SetTelemetry.
+type Telemetry = telemetry.Telemetry
+
+// TelemetryOptions configures NewTelemetry.
+type TelemetryOptions = telemetry.Options
+
+// MetricsRegistry is a registry of named counters, gauges and fixed-bucket
+// histograms with Prometheus-style text exposition (WriteText).
+type MetricsRegistry = telemetry.Registry
+
+// EventTrace is a bounded ring of pipeline events with an NDJSON exporter.
+type EventTrace = telemetry.Trace
+
+// TraceEvent is one typed, sim-time-stamped pipeline event.
+type TraceEvent = telemetry.Event
+
+// TraceEventType enumerates the pipeline decision points that emit events.
+type TraceEventType = telemetry.EventType
+
+// TelemetryRecorder accumulates per-path control-run samples and named
+// time series.
+type TelemetryRecorder = telemetry.Recorder
+
+// TelemetryPathSample is one per-path control-run observation.
+type TelemetryPathSample = telemetry.PathSample
+
+// Trace event types.
+const (
+	EventPacketAdmitted       = telemetry.EventPacketAdmitted
+	EventPacketDropped        = telemetry.EventPacketDropped
+	EventFlowClassifiedAttack = telemetry.EventFlowClassifiedAttack
+	EventPathAggregated       = telemetry.EventPathAggregated
+	EventPathReleased         = telemetry.EventPathReleased
+	EventPathExpired          = telemetry.EventPathExpired
+	EventModeChanged          = telemetry.EventModeChanged
+	EventControlRunCompleted  = telemetry.EventControlRunCompleted
+)
+
+// TelemetryCompiled reports whether telemetry emission is compiled in
+// (false when built with the flocnotelemetry tag, the overhead baseline).
+const TelemetryCompiled = telemetry.Compiled
+
+// NewTelemetry builds a telemetry instance.
+func NewTelemetry(opts TelemetryOptions) *Telemetry { return telemetry.New(opts) }
+
+// ReadTraceNDJSON decodes an NDJSON event stream written by
+// EventTrace.WriteNDJSON.
+func ReadTraceNDJSON(r io.Reader) ([]TraceEvent, error) { return telemetry.ReadNDJSON(r) }
+
+// NewMetricsRegistry builds a standalone metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
