@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"floc/internal/core"
+	"floc/internal/dataplane"
+	"floc/internal/telemetry"
+)
+
+func newTestEngine(t *testing.T, reg *telemetry.Registry, shards int) *dataplane.Engine {
+	t.Helper()
+	rc := core.DefaultConfig(8e6, 512)
+	rc.Seed = 7
+	e, err := dataplane.New(dataplane.Config{
+		Router: rc, Shards: shards, BlockOnFull: true, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestGenerateReplayEndToEnd(t *testing.T) {
+	var capture bytes.Buffer
+	const packets = 5000
+	if err := generateCapture(&capture, packets, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	e := newTestEngine(t, reg, 4)
+	defer e.Close()
+	n, end, err := replayCapture(bytes.NewReader(capture.Bytes()), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != packets {
+		t.Fatalf("replayed %d packets, want %d", n, packets)
+	}
+	if end <= 0 {
+		t.Fatalf("capture end time %v", end)
+	}
+	e.Advance(end + 10)
+	snap := e.Snapshot()
+	if snap.Arrived != packets {
+		t.Fatalf("router saw %d packets, want %d", snap.Arrived, packets)
+	}
+	if len(snap.Paths) != 9 {
+		t.Fatalf("%d paths, want 9 (8 legitimate + 1 flooder)", len(snap.Paths))
+	}
+	// The generator's flooding path sends 8x a legitimate path's rate
+	// into a congested link; it must absorb the bulk of the drops.
+	tally := map[bool][2]int64{}
+	for _, p := range snap.Paths {
+		v := tally[p.Key == "108-12-1"]
+		v[0] += p.AdmittedPackets
+		v[1] += p.DroppedPackets
+		tally[p.Key == "108-12-1"] = v
+	}
+	atk, legit := tally[true], tally[false]
+	if atk[1] == 0 {
+		t.Fatal("flooding path was never dropped; capture did not congest the link")
+	}
+	if legitRatio, atkRatio := ratio(legit), ratio(atk); legitRatio <= atkRatio {
+		t.Fatalf("legitimate admit ratio %.2f not above flooder's %.2f", legitRatio, atkRatio)
+	}
+
+	st := e.Stats()
+	if st.Processed != packets || st.RingDrops != 0 {
+		t.Fatalf("stats %+v after blocking replay of %d", st, packets)
+	}
+
+	// The merged run is visible over HTTP in Prometheus text form.
+	srv := httptest.NewServer(metricsMux(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "floc_router_arrived_packets_total") || len(text) < 100 {
+		t.Fatalf("/metrics not a populated exposition:\n%.200s", text)
+	}
+}
+
+func ratio(v [2]int64) float64 {
+	if v[0]+v[1] == 0 {
+		return 0
+	}
+	return float64(v[0]) / float64(v[0]+v[1])
+}
+
+func TestGenerateCaptureDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := generateCapture(&a, 500, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := generateCapture(&b, 500, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed produced different captures")
+	}
+	var c bytes.Buffer
+	if err := generateCapture(&c, 500, 4); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical captures")
+	}
+}
+
+func TestRunRejectsAmbiguousModes(t *testing.T) {
+	if err := run("", "", 0, "", 1, 0, 8e6, 512, 1024, 64, "", false, false); err == nil {
+		t.Fatal("no mode selected should be an error")
+	}
+	if err := run(":0", "x.ndjson", 0, "", 1, 0, 8e6, 512, 1024, 64, "", false, false); err == nil {
+		t.Fatal("both modes selected should be an error")
+	}
+}

@@ -1,0 +1,58 @@
+// Package wire seeds units-rule violations over the wire codec's
+// vocabulary: encoded header lengths in bytes, declared packet lengths,
+// link budgets in bits, and the byte/bit boundary a codec constantly
+// walks.
+package wire
+
+// Header mimics the codec's length bookkeeping.
+type Header struct {
+	Length  float64 //floc:unit bytes
+	PathLen float64 //floc:unit packets
+}
+
+// FrameOverhead adds a bit budget to a byte length.
+// floc:unit fixed bytes
+// floc:unit budget bits
+func FrameOverhead(fixed, budget float64) float64 {
+	return fixed + budget // WANT units
+}
+
+// FitsDatagram compares an encoded byte length against a link budget in
+// bits without converting.
+// floc:unit encoded bytes
+// floc:unit budget bits
+func FitsDatagram(encoded, budget float64) bool {
+	return encoded < budget // WANT units
+}
+
+// WireBits scales bytes by 8 and claims the result is still bytes:
+// scaling by a constant does not re-dimension, conversions do.
+// floc:unit encoded bytes
+func WireBits(encoded float64) float64 {
+	b := encoded * 8 //floc:unit bytes/s // WANT units
+	return b
+}
+
+// SerializeTime divides a byte length by a bit rate and claims seconds;
+// the quotient is bytes·s/bit, not time.
+// floc:unit frame bytes
+// floc:unit rate bits/s
+// floc:unit return seconds
+func SerializeTime(frame, rate float64) float64 {
+	return frame / rate // WANT units
+}
+
+// HeaderBudget accumulates per-packet byte lengths into a bits total.
+// floc:unit frame bytes
+func HeaderBudget(frame float64) float64 {
+	var total float64 //floc:unit bits
+	total += frame    // WANT units
+	return total
+}
+
+// DeclareLength stores a wire byte length into a header field annotated
+// with a different dimension.
+// floc:unit n packets
+func DeclareLength(h *Header, n float64) {
+	h.Length = n // WANT units
+}

@@ -1,0 +1,67 @@
+// Package wireclean exercises idiomatic codec-side dimensioned code that
+// must produce zero findings: byte lengths compose with byte lengths,
+// service times come from byte-denominated rates, and the one deliberate
+// bits-to-bytes conversion is suppressed with a justification.
+package wireclean
+
+// Frame carries the codec's annotated length bookkeeping.
+type Frame struct {
+	Fixed   float64 //floc:unit bytes
+	Path    float64 //floc:unit bytes
+	Trailer float64 //floc:unit bytes
+}
+
+// EncodedLen sums the three header regions.
+// floc:unit return bytes
+func EncodedLen(f *Frame) float64 {
+	return f.Fixed + f.Path + f.Trailer
+}
+
+// PathBytes scales a domain count into bytes at 4 bytes per entry; the
+// integer count is a dimensionless scalar.
+// floc:unit return bytes
+func PathBytes(f *Frame, entries int) float64 {
+	return f.Path * float64(entries)
+}
+
+// ServiceTime divides a byte length by a byte rate: the dimensions
+// cancel to seconds.
+// floc:unit frame bytes
+// floc:unit rateBytes bytes/s
+// floc:unit return seconds
+func ServiceTime(frame, rateBytes float64) float64 {
+	return frame / rateBytes
+}
+
+// RateBytes converts a link rate from bits/s to bytes/s; the deliberate
+// re-dimension is suppressed where it happens.
+// floc:unit rateBits bits/s
+// floc:unit return bytes/s
+func RateBytes(rateBits float64) float64 {
+	//floclint:allow units bits-to-bytes: 8 bits per byte
+	return rateBits / 8
+}
+
+// Throughput composes a byte rate over an interval into a byte total.
+// floc:unit rateBytes bytes/s
+// floc:unit dt seconds
+// floc:unit return bytes
+func Throughput(rateBytes, dt float64) float64 {
+	return rateBytes * dt
+}
+
+// FitsBudget compares like with like after converting the budget once.
+// floc:unit encoded bytes
+// floc:unit budgetBits bits
+func FitsBudget(encoded, budgetBits float64) bool {
+	budget := RateBytesAmount(budgetBits)
+	return encoded <= budget
+}
+
+// RateBytesAmount converts a bit amount to bytes.
+// floc:unit budgetBits bits
+// floc:unit return bytes
+func RateBytesAmount(budgetBits float64) float64 {
+	//floclint:allow units bits-to-bytes: 8 bits per byte
+	return budgetBits / 8
+}

@@ -1,0 +1,55 @@
+package floc
+
+import (
+	"floc/internal/dataplane"
+	"floc/internal/wire"
+)
+
+// --- Wire codec (the FLoc shim header, package wire) ---
+
+// WireHeader is the decoded FLoc shim header: version, flags, packet
+// kind, variable-length domain path identifier, declared length, and the
+// optional two-part flow capability.
+type WireHeader = wire.Header
+
+// WireFlags is the shim header flag byte.
+type WireFlags = wire.Flags
+
+// Wire header flag bits and limits.
+const (
+	WireVersion1       = wire.Version1
+	WireFlagCapability = wire.FlagCapability
+	WireFlagAttack     = wire.FlagAttack
+	WireFlagPriority   = wire.FlagPriority
+	WireMaxPathLen     = wire.MaxPathLen
+	WireMaxEncodedLen  = wire.MaxEncodedLen
+)
+
+// MarshalWire appends h's encoding to dst (allocation-free with spare
+// capacity).
+func MarshalWire(dst []byte, h *WireHeader) ([]byte, error) {
+	return wire.MarshalAppend(dst, h)
+}
+
+// DecodeWire parses one header from the front of buf and returns the
+// bytes consumed. Malformed input maps to the wire package's typed
+// errors; decoding never panics.
+func DecodeWire(buf []byte, h *WireHeader) (int, error) {
+	return wire.Decode(buf, h)
+}
+
+// --- Sharded multi-core dataplane ---
+
+// Dataplane is the sharded engine: traffic is partitioned by path
+// identifier across per-core FLoc routers behind bounded MPSC rings.
+type Dataplane = dataplane.Engine
+
+// DataplaneConfig parameterizes a Dataplane; zero Shards means one per
+// schedulable core.
+type DataplaneConfig = dataplane.Config
+
+// DataplaneStats are the engine's ring-boundary counters.
+type DataplaneStats = dataplane.Stats
+
+// NewDataplane builds a sharded dataplane engine and starts its workers.
+func NewDataplane(cfg DataplaneConfig) (*Dataplane, error) { return dataplane.New(cfg) }

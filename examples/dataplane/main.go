@@ -1,0 +1,89 @@
+// Dataplane example: run FLoc across every core. Packets are encoded to
+// the wire shim header, decoded back (the same boundary flocd's UDP and
+// replay paths cross), and pushed concurrently into the sharded engine —
+// a flooding domain at 10x the legitimate rate against a congested link.
+// The merged snapshot shows the flooder confined while legitimate
+// domains keep their shares, exactly as with a single router.
+//
+// Run with: go run ./examples/dataplane
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"floc"
+)
+
+func main() {
+	// An 8 Mb/s link (1000 full packets/s) with a 512-packet buffer,
+	// sharded over the machine's cores (Shards: 0 = one per core).
+	cfg := floc.DefaultRouterConfig(8e6, 512)
+	cfg.Seed = 7
+	reg := floc.NewMetricsRegistry()
+	engine, err := floc.NewDataplane(floc.DataplaneConfig{
+		Router:      cfg,
+		BlockOnFull: true, // replay pacing: never drop at the ring
+		Telemetry:   reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Five legitimate domains at 100 pkt/s each plus one flooder at
+	// 1000 pkt/s: 1500 pkt/s offered against 1000 pkt/s of link.
+	paths := make([]floc.PathID, 6)
+	for i := range paths {
+		paths[i] = floc.NewPathID(floc.ASN(100+i), floc.ASN(10+i%2), 1)
+	}
+	id := uint64(0)
+	for step := 0; step < 3000; step++ {
+		now := float64(step) * 0.01 // 30 virtual seconds
+		for p, path := range paths {
+			reps := 1
+			if p == len(paths)-1 {
+				reps = 10
+			}
+			for r := 0; r < reps; r++ {
+				// Round-trip through the wire codec, as flocd would.
+				h := floc.WireHeader{
+					Version: floc.WireVersion1,
+					Kind:    floc.KindUDP,
+					Src:     uint32(p + 1),
+					Dst:     9999,
+					Length:  1000,
+					PathLen: uint8(len(path)),
+				}
+				copy(h.Path[:], path)
+				frame, err := floc.MarshalWire(nil, &h)
+				if err != nil {
+					log.Fatal(err)
+				}
+				var dec floc.WireHeader
+				if _, err := floc.DecodeWire(frame, &dec); err != nil {
+					log.Fatal(err)
+				}
+				id++
+				pkt := &floc.Packet{
+					ID: id, Src: dec.Src, Dst: dec.Dst, Size: int(dec.Length),
+					Kind: dec.Kind, Path: path, PathKey: path.Key(),
+				}
+				engine.Enqueue(pkt, now)
+			}
+		}
+	}
+	engine.Advance(35)
+	snap := engine.Snapshot()
+	engine.Close()
+
+	fmt.Printf("dataplane: %d shards, mode=%s, %d arrived, %d admitted\n",
+		engine.Shards(), snap.Mode, snap.Arrived, snap.Admitted)
+	for _, p := range snap.Paths {
+		total := p.AdmittedPackets + p.DroppedPackets
+		fmt.Printf("  %-12s admitted %5d / %5d (%.0f%%)\n",
+			p.Key, p.AdmittedPackets, total, 100*float64(p.AdmittedPackets)/float64(total))
+	}
+	st := engine.Stats()
+	fmt.Printf("ring boundary: accepted=%d drops=%d processed=%d\n",
+		st.Accepted, st.RingDrops, st.Processed)
+}

@@ -1,0 +1,511 @@
+// Package dataplane runs FLoc across multiple cores. An Engine partitions
+// traffic by hashing each packet's path identifier onto one of N worker
+// shards; every shard owns a private core.Router (configured with 1/N of
+// the link rate and buffer) plus a bounded MPSC ring queue feeding it, so
+// no router state is ever shared between goroutines. Producers — UDP
+// readers, capture replay, benchmarks — enqueue concurrently; each worker
+// drains its ring in batches through the router's batch-admission API and
+// services the router's output queue against a virtual-time transmitter.
+//
+// Partitioning by path identifier is what makes the split faithful to the
+// single-router semantics: FLoc's admission state (token buckets,
+// conformance, flow tables, aggregation) is all keyed by origin path, so
+// a path's packets always meet the same router and the same state. What
+// the split cannot preserve is cross-path interaction through the shared
+// physical buffer — each shard sees only its own queue when classifying
+// uncongested/congested/flooding — which is the standard trade of sharded
+// dataplanes (RSS spreads flows over queues the same way).
+//
+// Backpressure is explicit: when a shard's ring is full the engine either
+// drops the packet and counts it (telemetry counter
+// floc_dataplane_ring_full_drops_total plus Stats), or, in BlockOnFull
+// mode, yields until the worker catches up. Nothing is ever dropped
+// silently.
+package dataplane
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"floc/internal/core"
+	"floc/internal/invariant"
+	"floc/internal/netsim"
+	"floc/internal/pathid"
+	"floc/internal/telemetry"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Router configures the aggregate router the shards jointly emulate.
+	// Link rate and buffer capacity are divided across shards; all other
+	// parameters are inherited verbatim. Shard i derives its RNG seed
+	// from Router.Seed so runs are reproducible at any shard count
+	// (shard 0 keeps the base seed: a 1-shard engine is bit-identical to
+	// a plain core.Router).
+	Router core.Config
+	// Shards is the number of worker shards. Zero means "pick for me":
+	// runtime.GOMAXPROCS(0), one shard per schedulable core. Negative is
+	// rejected — it is always a caller bug, not a preference.
+	Shards int
+	// RingSize is the per-shard ring capacity in packets. It must be a
+	// power of two (the ring maps cursors to slots with a mask); zero
+	// defaults to 1024.
+	RingSize int //floc:unit packets
+	// Batch bounds how many packets a worker admits per ring drain; zero
+	// defaults to 64.
+	Batch int //floc:unit packets
+	// BlockOnFull makes Enqueue yield until ring space frees instead of
+	// dropping. Use for offline replay, where input has no real arrival
+	// clock and losing packets to producer speed would be nonsense.
+	BlockOnFull bool
+	// Telemetry, when non-nil, receives the shard routers' metrics and
+	// the engine's backpressure counters. Counters aggregate correctly
+	// across shards (shared atomic handles); gauges are last-writer-wins
+	// per control run and are only indicative under sharding.
+	Telemetry *telemetry.Registry
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.RingSize == 0 {
+		c.RingSize = 1024
+	}
+	if c.Batch == 0 {
+		c.Batch = 64
+	}
+	return c
+}
+
+// validate checks a resolved configuration.
+func (c Config) validate() error {
+	switch {
+	case c.Shards <= 0:
+		return fmt.Errorf("dataplane: shard count %d <= 0", c.Shards)
+	case c.RingSize < 2 || c.RingSize&(c.RingSize-1) != 0:
+		return fmt.Errorf("dataplane: ring size %d not a power of two >= 2", c.RingSize)
+	case c.Batch <= 0:
+		return fmt.Errorf("dataplane: batch %d <= 0", c.Batch)
+	case c.Router.Capacity/c.Shards < 4:
+		return fmt.Errorf("dataplane: capacity %d over %d shards leaves < 4 packets per shard",
+			c.Router.Capacity, c.Shards)
+	}
+	return nil
+}
+
+// Stats are the engine's own lifetime counters, distinct from router
+// admission counters: they describe the ring boundary, not the policy.
+type Stats struct {
+	// Accepted counts packets that entered a shard ring.
+	Accepted int64 //floc:unit packets
+	// RingDrops counts packets dropped because a ring was full.
+	RingDrops int64 //floc:unit packets
+	// Processed counts packets the workers ran through admission.
+	Processed int64 //floc:unit packets
+}
+
+// seedStride separates shard RNG streams (64-bit golden ratio, odd).
+const seedStride = 0x9e3779b97f4a7c15
+
+// Engine is the sharded dataplane. Enqueue is safe for concurrent use by
+// any number of producers; Drain, Advance, Snapshot and Close serialize
+// through an internal mutex and must not race with further Enqueues'
+// expectations (see each method).
+type Engine struct {
+	cfg    Config
+	shards []*shard
+
+	ctl    sync.Mutex // serializes control-plane ops (Drain/Advance/Snapshot/Close)
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// shard is one worker: ring in, private router, virtual transmitter out.
+type shard struct {
+	ring   *ring
+	router *core.Router
+
+	wake     chan struct{} // 1-buffered doorbell
+	sleeping atomic.Bool
+	cmds     chan command
+	stop     chan struct{}
+
+	accepted  atomic.Int64
+	ringDrops atomic.Int64
+	processed atomic.Int64
+	dropCtr   *telemetry.Counter // nil when telemetry is off
+
+	// Worker-owned state below; never touched by producers.
+	buf       []item
+	bi        []core.BatchItem
+	free      float64 //floc:unit seconds
+	rateBytes float64 //floc:unit bytes/s
+}
+
+type cmdKind uint8
+
+const (
+	cmdSync cmdKind = iota + 1
+	cmdAdvance
+	cmdSnapshot
+)
+
+type command struct {
+	kind cmdKind
+	now  float64 //floc:unit seconds
+	snap chan core.Snapshot
+	done chan struct{}
+}
+
+// New builds an engine and starts its workers.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if invariant.Hot {
+		invariant.Positive("dataplane.shards", float64(cfg.Shards))
+		invariant.Positive("dataplane.ring-size", float64(cfg.RingSize))
+	}
+	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	n := cfg.Shards
+	baseCap, remCap := cfg.Router.Capacity/n, cfg.Router.Capacity%n
+	for i := 0; i < n; i++ {
+		rc := cfg.Router
+		rc.LinkRateBits = cfg.Router.LinkRateBits / float64(n)
+		rc.Capacity = baseCap
+		if i < remCap {
+			rc.Capacity++
+		}
+		if i > 0 {
+			rc.Seed = cfg.Router.Seed + uint64(i)*seedStride
+		}
+		router, err := core.NewRouter(rc)
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: shard %d: %w", i, err)
+		}
+		sh := &shard{
+			ring:   newRing(cfg.RingSize),
+			router: router,
+			wake:   make(chan struct{}, 1),
+			cmds:   make(chan command),
+			stop:   make(chan struct{}),
+			buf:    make([]item, cfg.Batch),
+			bi:     make([]core.BatchItem, 0, cfg.Batch),
+			//floclint:allow units bits-to-bytes: per-shard transmitter rate, 8 bits per byte
+			rateBytes: rc.LinkRateBits / 8,
+		}
+		if cfg.Telemetry != nil {
+			router.SetTelemetry(&telemetry.Telemetry{Registry: cfg.Telemetry})
+			sh.dropCtr = cfg.Telemetry.Counter(
+				fmt.Sprintf(`floc_dataplane_ring_full_drops_total{shard="%d"}`, i),
+				"packets dropped at a full shard ring", "packets")
+		}
+		e.shards[i] = sh
+	}
+	for _, sh := range e.shards {
+		e.wg.Add(1)
+		go func(sh *shard) {
+			defer e.wg.Done()
+			sh.run()
+		}(sh)
+	}
+	return e, nil
+}
+
+// Shards returns the resolved shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// ShardOf returns the shard index a path identifier maps to. Exported so
+// tests and traffic generators can construct shard-targeted workloads.
+func (e *Engine) ShardOf(path pathid.PathID) int {
+	return pathShard(path, len(e.shards))
+}
+
+// pathShard hashes a path identifier (FNV-1a over the big-endian domain
+// sequence) onto [0, n). FNV is enough here: path identifiers are
+// assigned by topology, not chosen by the attacker per-packet — a flow
+// cannot re-shard itself by varying header bytes the router would reject.
+func pathShard(path pathid.PathID, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, as := range path {
+		v := uint32(as)
+		for shift := 24; shift >= 0; shift -= 8 {
+			h ^= uint64(uint8(v >> shift))
+			h *= prime64
+		}
+	}
+	return int(h % uint64(n))
+}
+
+// Enqueue hands a packet to its shard. It returns true when the packet
+// entered the ring; false means the ring was full and the packet was
+// dropped (counted in Stats and telemetry) or the engine is closed. With
+// BlockOnFull the full case yields and retries instead. The packet must
+// not be mutated after a successful Enqueue.
+// floc:unit now seconds
+func (e *Engine) Enqueue(pkt *netsim.Packet, now float64) bool {
+	if e.closed.Load() {
+		return false
+	}
+	sh := e.shards[pathShard(pkt.Path, len(e.shards))]
+	it := item{pkt: pkt, at: now}
+	for !sh.ring.tryEnqueue(it) {
+		if !e.cfg.BlockOnFull {
+			sh.ringDrops.Add(1)
+			if sh.dropCtr != nil {
+				sh.dropCtr.Inc()
+			}
+			return false
+		}
+		sh.ringWake()
+		runtime.Gosched()
+		if e.closed.Load() {
+			return false
+		}
+	}
+	sh.accepted.Add(1)
+	sh.ringWake()
+	return true
+}
+
+// ringWake rings the shard's doorbell if the worker is parked. The
+// ordering argument: a producer publishes the item (sequential
+// consistency of the slot sequence store) before loading sleeping, and
+// the worker stores sleeping=true before its final emptiness check — so
+// either the worker sees the item, or the producer sees sleeping and the
+// buffered doorbell survives until the worker selects on it.
+func (sh *shard) ringWake() {
+	if sh.sleeping.Load() {
+		select {
+		case sh.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// run is the worker loop: drain batches while there is work, handle
+// control commands at quiescent points, park when idle.
+func (sh *shard) run() {
+	for {
+		if n := sh.ring.dequeueBatch(sh.buf); n > 0 {
+			sh.process(sh.buf[:n])
+			select {
+			case c := <-sh.cmds:
+				sh.handle(c)
+			default:
+			}
+			continue
+		}
+		select {
+		case c := <-sh.cmds:
+			sh.handle(c)
+			continue
+		default:
+		}
+		sh.sleeping.Store(true)
+		if !sh.ring.empty() {
+			sh.sleeping.Store(false)
+			continue
+		}
+		select {
+		case <-sh.wake:
+			sh.sleeping.Store(false)
+		case c := <-sh.cmds:
+			sh.sleeping.Store(false)
+			sh.handle(c)
+		case <-sh.stop:
+			sh.sleeping.Store(false)
+			sh.drainAll()
+			return
+		}
+	}
+}
+
+// process admits one batch. The router's virtual transmitter is serviced
+// up to the batch head's arrival time first, so queue occupancy tracks
+// arrival time the same way the simulator's event loop interleaves
+// enqueues and dequeues.
+func (sh *shard) process(items []item) {
+	sh.serve(items[0].at)
+	sh.bi = sh.bi[:0]
+	for i := range items {
+		sh.bi = append(sh.bi, core.BatchItem{Pkt: items[i].pkt, At: items[i].at})
+	}
+	sh.router.EnqueueBatch(sh.bi)
+	sh.processed.Add(int64(len(items)))
+}
+
+// serve drains the router's output queue through the shard's share of
+// the link until the virtual transmitter catches up with now.
+// floc:unit now seconds
+func (sh *shard) serve(now float64) {
+	for sh.free <= now {
+		pkt := sh.router.Dequeue(sh.free)
+		if pkt == nil {
+			sh.free = now
+			return
+		}
+		sh.free += float64(pkt.Size) / sh.rateBytes
+	}
+}
+
+// drainAll empties the ring completely (used before commands and at
+// shutdown so barriers see every packet enqueued before them).
+func (sh *shard) drainAll() {
+	for {
+		n := sh.ring.dequeueBatch(sh.buf)
+		if n == 0 {
+			return
+		}
+		sh.process(sh.buf[:n])
+	}
+}
+
+// handle executes a control command at a quiescent point. Every command
+// is a barrier: the ring is fully drained first.
+func (sh *shard) handle(c command) {
+	sh.drainAll()
+	switch c.kind {
+	case cmdSync:
+		close(c.done)
+	case cmdAdvance:
+		sh.serve(c.now)
+		close(c.done)
+	case cmdSnapshot:
+		c.snap <- sh.router.Snapshot()
+	}
+}
+
+// Drain blocks until every packet enqueued happens-before the call has
+// been processed by its shard. Concurrent Enqueues are allowed but not
+// waited for.
+func (e *Engine) Drain() {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	if e.closed.Load() {
+		return
+	}
+	dones := make([]chan struct{}, len(e.shards))
+	for i, sh := range e.shards {
+		dones[i] = make(chan struct{})
+		sh.cmds <- command{kind: cmdSync, done: dones[i]}
+	}
+	for _, d := range dones {
+		<-d
+	}
+}
+
+// Advance drains all rings and services every shard's output queue up to
+// virtual time now — the flush at end of input, when no further arrivals
+// will drive the transmitters.
+// floc:unit now seconds
+func (e *Engine) Advance(now float64) {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	if e.closed.Load() {
+		return
+	}
+	dones := make([]chan struct{}, len(e.shards))
+	for i, sh := range e.shards {
+		dones[i] = make(chan struct{})
+		sh.cmds <- command{kind: cmdAdvance, now: now, done: dones[i]}
+	}
+	for _, d := range dones {
+		<-d
+	}
+}
+
+// Snapshot drains all rings and returns the deterministic merge of the
+// per-shard router snapshots: counters and buffer state sum, per-path
+// entries concatenate sorted by key (paths are disjoint across shards by
+// construction), and the mode is the most severe of any shard's.
+func (e *Engine) Snapshot() core.Snapshot {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	parts := make([]core.Snapshot, len(e.shards))
+	if e.closed.Load() {
+		// Workers are gone; routers are safe to read directly.
+		for i, sh := range e.shards {
+			parts[i] = sh.router.Snapshot()
+		}
+		return mergeSnapshots(parts)
+	}
+	replies := make([]chan core.Snapshot, len(e.shards))
+	for i, sh := range e.shards {
+		replies[i] = make(chan core.Snapshot, 1)
+		sh.cmds <- command{kind: cmdSnapshot, snap: replies[i]}
+	}
+	for i := range replies {
+		parts[i] = <-replies[i]
+	}
+	return mergeSnapshots(parts)
+}
+
+// mergeSnapshots folds per-shard snapshots into one aggregate view.
+func mergeSnapshots(parts []core.Snapshot) core.Snapshot {
+	out := core.Snapshot{
+		Drops:      make(map[string]int64),
+		Aggregates: make(map[string][]string),
+	}
+	for _, p := range parts {
+		if p.Mode > out.Mode {
+			out.Mode = p.Mode
+		}
+		out.QueueLen += p.QueueLen
+		out.QMin += p.QMin
+		out.QMax += p.QMax
+		out.GuaranteedPaths += p.GuaranteedPaths
+		out.Paths = append(out.Paths, p.Paths...)
+		for key, members := range p.Aggregates {
+			out.Aggregates[key] = append(out.Aggregates[key], members...)
+		}
+		out.Arrived += p.Arrived
+		out.Admitted += p.Admitted
+		for reason, n := range p.Drops {
+			out.Drops[reason] += n
+		}
+		out.FilterLive += p.FilterLive
+		out.FilterMemoryBytes += p.FilterMemoryBytes
+		out.ControlRuns += p.ControlRuns
+	}
+	sort.Slice(out.Paths, func(i, j int) bool { return out.Paths[i].Key < out.Paths[j].Key })
+	for key := range out.Aggregates {
+		sort.Strings(out.Aggregates[key])
+	}
+	return out
+}
+
+// Stats returns the engine's ring-boundary counters.
+func (e *Engine) Stats() Stats {
+	var s Stats
+	for _, sh := range e.shards {
+		s.Accepted += sh.accepted.Load()
+		s.RingDrops += sh.ringDrops.Load()
+		s.Processed += sh.processed.Load()
+	}
+	return s
+}
+
+// Close stops the workers after draining every ring. Enqueue returns
+// false once Close has begun. Snapshot remains valid after Close.
+func (e *Engine) Close() {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	if e.closed.Swap(true) {
+		return
+	}
+	for _, sh := range e.shards {
+		close(sh.stop)
+	}
+	e.wg.Wait()
+}

@@ -1,0 +1,94 @@
+package dataplane
+
+import (
+	"sync/atomic"
+
+	"floc/internal/netsim"
+)
+
+// item is one unit of shard work: a packet and its arrival time.
+type item struct {
+	pkt *netsim.Packet
+	at  float64 //floc:unit seconds
+}
+
+// ring is a bounded multi-producer single-consumer queue (Vyukov's
+// bounded MPMC design, used here with one consumer). Each slot carries a
+// sequence number: producers claim a slot by CAS on the enqueue cursor
+// and publish it by advancing the slot sequence; the consumer observes
+// publication through the same sequence, so item handoff is properly
+// ordered without locks. Capacity is a power of two so cursor-to-slot
+// mapping is a mask.
+type ring struct {
+	mask  uint64
+	slots []ringSlot
+	enq   atomic.Uint64 // producer cursor (claimed, not yet necessarily published)
+	deq   uint64        // consumer cursor; touched only by the consumer goroutine
+}
+
+type ringSlot struct {
+	seq  atomic.Uint64
+	item item
+}
+
+// newRing returns a ring of the given power-of-two size.
+func newRing(size int) *ring {
+	r := &ring{mask: uint64(size) - 1, slots: make([]ringSlot, size)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// tryEnqueue publishes one item. It returns false when the ring is full —
+// the caller decides whether to drop (accounted) or back off.
+func (r *ring) tryEnqueue(it item) bool {
+	pos := r.enq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.item = it
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case d < 0:
+			// Slot still holds an unconsumed item from one lap ago: full.
+			return false
+		default:
+			// Another producer claimed pos; reload and retry.
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// dequeueBatch moves up to len(dst) published items into dst and returns
+// how many it moved. Consumer-only.
+func (r *ring) dequeueBatch(dst []item) int {
+	n := 0
+	for n < len(dst) {
+		pos := r.deq
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		if int64(seq)-int64(pos+1) < 0 {
+			break // next slot not yet published: ring (momentarily) empty
+		}
+		dst[n] = s.item
+		s.item = item{} // drop the reference for GC
+		s.seq.Store(pos + uint64(len(r.slots)))
+		r.deq = pos + 1
+		n++
+	}
+	return n
+}
+
+// empty reports whether the consumer has caught up with all published
+// items. Consumer-side check; a concurrent producer can make it stale
+// immediately.
+func (r *ring) empty() bool {
+	s := &r.slots[r.deq&r.mask]
+	return int64(s.seq.Load())-int64(r.deq+1) < 0
+}

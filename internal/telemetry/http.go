@@ -1,0 +1,13 @@
+package telemetry
+
+import "net/http"
+
+// Handler returns an http.Handler that serves the registry in Prometheus
+// text exposition format. Safe for concurrent use: WriteText reads the
+// atomic metric values without locking out writers.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

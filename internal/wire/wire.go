@@ -1,0 +1,328 @@
+// Package wire is the binary codec for the FLoc shim header — the
+// on-the-wire form of the metadata the simulator carries on every
+// netsim.Packet: protocol version, flags, packet kind, the variable-length
+// domain path identifier stamped by the origin BGP speaker (paper Section
+// III-A), the declared packet length, and the optional two-part flow
+// capability (Section IV-B.3).
+//
+// The codec is the boundary where traffic that originated outside this
+// process enters the reproduction, so Decode is strict: every field is
+// bounds- and version-checked, malformed input maps to a typed error, and
+// decoding arbitrary bytes never panics (enforced by FuzzWireDecode).
+// MarshalAppend and Decode are allocation-free on the success path so the
+// daemon's per-datagram cost is bounded by the header walk itself.
+//
+// Layout (big-endian, lengths in bytes):
+//
+//	offset  size  field
+//	0       1     version (currently 1)
+//	1       1     flags (capability, attack ground truth, priority)
+//	2       1     kind (netsim.PacketKind, 1..5)
+//	3       1     path length p (number of domains, 0..16)
+//	4       4     source address
+//	8       4     destination address
+//	12      2     packet length (bytes, > 0)
+//	14      4*p   path identifier, origin domain first
+//	14+4*p  17    capability C0 (8), C1 (8), slot (1) — iff FlagCapability
+//
+// An empty path (p = 0) is an unmarked packet; the router accounts it
+// under its synthetic unknown path, exactly as in the simulator.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"floc/internal/capability"
+	"floc/internal/netsim"
+	"floc/internal/pathid"
+)
+
+// Version1 is the only wire version this codec speaks.
+const Version1 = 1
+
+// MaxPathLen bounds the number of domains a wire path identifier can
+// carry. Measured AS paths are short (the paper's topologies stay under
+// tree height 5); 16 leaves generous headroom while keeping the header
+// and the decoder's fixed-size Path array small.
+const MaxPathLen = 16
+
+// Byte budget of the three header regions. headerFixedLen covers the
+// fields every packet carries; capLen is the optional capability trailer.
+const (
+	headerFixedLen = 14                                     // bytes
+	capLen         = 17                                     // bytes
+	MaxEncodedLen  = headerFixedLen + 4*MaxPathLen + capLen // bytes
+)
+
+// Flags is the header flag byte.
+type Flags uint8
+
+// Flag bits. Unknown bits are a decode error: a header from a newer
+// speaker must not be half-understood.
+const (
+	// FlagCapability marks the presence of the two-part capability trailer.
+	FlagCapability Flags = 1 << 0
+	// FlagAttack carries the ground-truth attack marker used only by
+	// measurement and replay evaluation; no admission decision reads it
+	// (mirrors netsim.Packet.Attack).
+	FlagAttack Flags = 1 << 1
+	// FlagPriority mirrors netsim.Packet.Priority for the per-flow
+	// fairness baseline.
+	FlagPriority Flags = 1 << 2
+
+	knownFlags = FlagCapability | FlagAttack | FlagPriority
+)
+
+// Typed decode/marshal errors. Errors wrap these sentinels with detail;
+// match with errors.Is.
+var (
+	// ErrShort reports a buffer too short for the declared header.
+	ErrShort = errors.New("wire: buffer too short")
+	// ErrVersion reports an unsupported wire version.
+	ErrVersion = errors.New("wire: unsupported version")
+	// ErrFlags reports unknown flag bits.
+	ErrFlags = errors.New("wire: unknown flag bits")
+	// ErrKind reports a packet kind outside the defined range.
+	ErrKind = errors.New("wire: invalid packet kind")
+	// ErrPathLen reports a path identifier longer than MaxPathLen.
+	ErrPathLen = errors.New("wire: path length out of range")
+	// ErrLength reports a zero declared packet length.
+	ErrLength = errors.New("wire: invalid packet length")
+	// ErrSlot reports a capability slot outside the encodable [0, 255].
+	ErrSlot = errors.New("wire: capability slot out of range")
+)
+
+// Header is the decoded FLoc shim header. Path identifiers live in a
+// fixed-size array so decoding allocates nothing; PathLen says how many
+// leading entries are valid. Cap is meaningful only when
+// Flags&FlagCapability is set, and is zero otherwise so marshal∘decode is
+// the identity on canonical headers.
+type Header struct {
+	Version uint8
+	Flags   Flags
+	Kind    netsim.PacketKind
+	Src     uint32
+	Dst     uint32
+	Length  uint16 //floc:unit bytes
+	PathLen uint8
+	Path    [MaxPathLen]pathid.ASN
+	Cap     capability.Capability
+}
+
+// EncodedLen returns the exact number of bytes MarshalAppend would write.
+func (h *Header) EncodedLen() int {
+	n := headerFixedLen + 4*int(h.PathLen)
+	if h.Flags&FlagCapability != 0 {
+		n += capLen
+	}
+	return n
+}
+
+// validate checks the header's encodable range; shared by MarshalAppend
+// (reject before writing) and Decode (reject foreign input).
+func (h *Header) validate() error {
+	if h.Version != Version1 {
+		return fmt.Errorf("%w: %d", ErrVersion, h.Version)
+	}
+	if bad := h.Flags &^ knownFlags; bad != 0 {
+		return fmt.Errorf("%w: %#02x", ErrFlags, uint8(bad))
+	}
+	if h.Kind < netsim.KindSYN || h.Kind > netsim.KindUDP {
+		return fmt.Errorf("%w: %d", ErrKind, uint8(h.Kind))
+	}
+	if int(h.PathLen) > MaxPathLen {
+		return fmt.Errorf("%w: %d > %d", ErrPathLen, h.PathLen, MaxPathLen)
+	}
+	if h.Length == 0 {
+		return fmt.Errorf("%w: zero", ErrLength)
+	}
+	if h.Flags&FlagCapability != 0 && (h.Cap.Slot < 0 || h.Cap.Slot > 255) {
+		return fmt.Errorf("%w: %d", ErrSlot, h.Cap.Slot)
+	}
+	return nil
+}
+
+// MarshalAppend appends the encoded header to dst and returns the
+// extended slice. It does not allocate when dst has spare capacity
+// (allocate once with make([]byte, 0, wire.MaxEncodedLen) and reuse).
+func MarshalAppend(dst []byte, h *Header) ([]byte, error) {
+	if err := h.validate(); err != nil {
+		return dst, err
+	}
+	dst = append(dst, h.Version, uint8(h.Flags), uint8(h.Kind), h.PathLen)
+	dst = binary.BigEndian.AppendUint32(dst, h.Src)
+	dst = binary.BigEndian.AppendUint32(dst, h.Dst)
+	dst = binary.BigEndian.AppendUint16(dst, h.Length)
+	for i := 0; i < int(h.PathLen); i++ {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(h.Path[i]))
+	}
+	if h.Flags&FlagCapability != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, h.Cap.C0)
+		dst = binary.BigEndian.AppendUint64(dst, h.Cap.C1)
+		dst = append(dst, uint8(h.Cap.Slot))
+	}
+	return dst, nil
+}
+
+// Decode parses one header from the front of buf into h and returns the
+// number of bytes consumed. Headers are self-delimiting, so captures can
+// be decoded back-to-back from one buffer. On error it returns 0 and
+// leaves h in an unspecified state; it never panics and never retains
+// buf. Trailing bytes after the header are the caller's concern (a UDP
+// datagram should contain exactly one header; a capture stream many).
+func Decode(buf []byte, h *Header) (int, error) {
+	if len(buf) < headerFixedLen {
+		return 0, fmt.Errorf("%w: %d < %d", ErrShort, len(buf), headerFixedLen)
+	}
+	*h = Header{
+		Version: buf[0],
+		Flags:   Flags(buf[1]),
+		Kind:    netsim.PacketKind(buf[2]),
+		PathLen: buf[3],
+		Src:     binary.BigEndian.Uint32(buf[4:8]),
+		Dst:     binary.BigEndian.Uint32(buf[8:12]),
+		Length:  binary.BigEndian.Uint16(buf[12:14]),
+	}
+	// Validate before trusting PathLen to size the remainder of the walk.
+	if err := validateShallow(h); err != nil {
+		return 0, err
+	}
+	n := headerFixedLen
+	need := h.EncodedLen()
+	if len(buf) < need {
+		return 0, fmt.Errorf("%w: %d < %d", ErrShort, len(buf), need)
+	}
+	for i := 0; i < int(h.PathLen); i++ {
+		h.Path[i] = pathid.ASN(binary.BigEndian.Uint32(buf[n : n+4]))
+		n += 4
+	}
+	if h.Flags&FlagCapability != 0 {
+		h.Cap.C0 = binary.BigEndian.Uint64(buf[n : n+8])
+		h.Cap.C1 = binary.BigEndian.Uint64(buf[n+8 : n+16])
+		h.Cap.Slot = int(buf[n+16])
+		n += capLen
+	}
+	return n, nil
+}
+
+// validateShallow is validate minus the capability-slot check, which
+// cannot fail on decode (one byte is always in range) and whose field is
+// not yet populated when Decode calls this.
+func validateShallow(h *Header) error {
+	if h.Version != Version1 {
+		return fmt.Errorf("%w: %d", ErrVersion, h.Version)
+	}
+	if bad := h.Flags &^ knownFlags; bad != 0 {
+		return fmt.Errorf("%w: %#02x", ErrFlags, uint8(bad))
+	}
+	if h.Kind < netsim.KindSYN || h.Kind > netsim.KindUDP {
+		return fmt.Errorf("%w: %d", ErrKind, uint8(h.Kind))
+	}
+	if int(h.PathLen) > MaxPathLen {
+		return fmt.Errorf("%w: %d > %d", ErrPathLen, h.PathLen, MaxPathLen)
+	}
+	if h.Length == 0 {
+		return fmt.Errorf("%w: zero", ErrLength)
+	}
+	return nil
+}
+
+// PathSlice returns the valid prefix of the path array. The slice aliases
+// the header; copy it (or use PathID) to outlive h.
+func (h *Header) PathSlice() []pathid.ASN { return h.Path[:h.PathLen] }
+
+// PathID returns a freshly allocated path identifier.
+func (h *Header) PathID() pathid.PathID {
+	return pathid.New(h.Path[:h.PathLen]...)
+}
+
+// FromPacket fills h from a simulator packet (the capture/daemon egress
+// direction). The capability trailer is omitted: capabilities are issued
+// by the measuring router, not carried by the simulator's packets.
+func FromPacket(h *Header, pkt *netsim.Packet) error {
+	if len(pkt.Path) > MaxPathLen {
+		return fmt.Errorf("%w: %d > %d", ErrPathLen, len(pkt.Path), MaxPathLen)
+	}
+	if pkt.Size <= 0 || pkt.Size > 0xffff {
+		return fmt.Errorf("%w: %d", ErrLength, pkt.Size)
+	}
+	*h = Header{
+		Version: Version1,
+		Kind:    pkt.Kind,
+		Src:     pkt.Src,
+		Dst:     pkt.Dst,
+		Length:  uint16(pkt.Size),
+		PathLen: uint8(len(pkt.Path)),
+	}
+	copy(h.Path[:], pkt.Path)
+	if pkt.Attack {
+		h.Flags |= FlagAttack
+	}
+	if pkt.Priority {
+		h.Flags |= FlagPriority
+	}
+	return nil
+}
+
+// ToPacket fills pkt from the decoded header. The caller supplies the
+// packet ID and the canonical path identifier and key (via an Interner,
+// so hot decode paths share one PathID per distinct path instead of
+// allocating per packet).
+func (h *Header) ToPacket(pkt *netsim.Packet, id uint64, path pathid.PathID, key string) {
+	*pkt = netsim.Packet{
+		ID:       id,
+		Src:      h.Src,
+		Dst:      h.Dst,
+		Size:     int(h.Length),
+		Kind:     h.Kind,
+		Path:     path,
+		PathKey:  key,
+		Attack:   h.Flags&FlagAttack != 0,
+		Priority: h.Flags&FlagPriority != 0,
+	}
+}
+
+// internerMax bounds the interner's table so adversarial path churn
+// cannot grow it without limit; past the bound, Resolve falls back to
+// per-call allocation (correct, just slower).
+const internerMax = 1 << 16
+
+// Interner canonicalizes decoded path identifiers: one PathID and one
+// key string per distinct path, looked up allocation-free. Not safe for
+// concurrent use — give each decoding goroutine its own.
+type Interner struct {
+	m   map[string]internEntry
+	buf []byte
+}
+
+type internEntry struct {
+	id  pathid.PathID
+	key string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{m: make(map[string]internEntry), buf: make([]byte, 0, 4*MaxPathLen)}
+}
+
+// Resolve returns the canonical PathID and key for h's path.
+func (in *Interner) Resolve(h *Header) (pathid.PathID, string) {
+	in.buf = in.buf[:0]
+	for i := 0; i < int(h.PathLen); i++ {
+		in.buf = binary.BigEndian.AppendUint32(in.buf, uint32(h.Path[i]))
+	}
+	if e, ok := in.m[string(in.buf)]; ok {
+		return e.id, e.key
+	}
+	id := h.PathID()
+	e := internEntry{id: id, key: id.Key()}
+	if len(in.m) < internerMax {
+		in.m[string(in.buf)] = e
+	}
+	return e.id, e.key
+}
+
+// Len returns the number of interned paths, for tests and introspection.
+func (in *Interner) Len() int { return len(in.m) }

@@ -1,0 +1,288 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"floc/internal/capability"
+	"floc/internal/netsim"
+	"floc/internal/pathid"
+)
+
+func sampleHeader() Header {
+	h := Header{
+		Version: Version1,
+		Flags:   FlagCapability | FlagAttack,
+		Kind:    netsim.KindUDP,
+		Src:     0x0a000001,
+		Dst:     0x0a000002,
+		Length:  1500,
+		PathLen: 3,
+		Cap:     capability.Capability{C0: 0x1122334455667788, C1: 0x99aabbccddeeff00, Slot: 7},
+	}
+	h.Path[0], h.Path[1], h.Path[2] = 64, 7, 1
+	return h
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := []Header{
+		sampleHeader(),
+		{Version: Version1, Kind: netsim.KindSYN, Src: 1, Dst: 2, Length: 40, PathLen: 0},
+		{Version: Version1, Flags: FlagPriority, Kind: netsim.KindData, Length: 1, PathLen: MaxPathLen},
+	}
+	for i, h := range cases {
+		buf, err := MarshalAppend(nil, &h)
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", i, err)
+		}
+		if len(buf) != h.EncodedLen() {
+			t.Fatalf("case %d: encoded %d bytes, EncodedLen says %d", i, len(buf), h.EncodedLen())
+		}
+		var got Header
+		n, err := Decode(buf, &got)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("case %d: decode consumed %d of %d", i, n, len(buf))
+		}
+		if got != h {
+			t.Fatalf("case %d: round trip mismatch:\n got %+v\nwant %+v", i, got, h)
+		}
+	}
+}
+
+func TestStreamDecode(t *testing.T) {
+	// Headers are self-delimiting: three back-to-back headers decode in
+	// sequence from one buffer.
+	hs := []Header{sampleHeader(), {Version: Version1, Kind: netsim.KindACK, Length: 40}, sampleHeader()}
+	var buf []byte
+	for i := range hs {
+		var err error
+		buf, err = MarshalAppend(buf, &hs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	off := 0
+	for i := range hs {
+		var got Header
+		n, err := Decode(buf[off:], &got)
+		if err != nil {
+			t.Fatalf("header %d: %v", i, err)
+		}
+		if got != hs[i] {
+			t.Fatalf("header %d mismatch", i)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d", off, len(buf))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good, err := MarshalAppend(nil, &Header{Version: Version1, Kind: netsim.KindUDP, Length: 100, PathLen: 2, Path: [MaxPathLen]pathid.ASN{9, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(i int, v byte) []byte {
+		b := append([]byte(nil), good...)
+		b[i] = v
+		return b
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrShort},
+		{"truncated-fixed", good[:headerFixedLen-1], ErrShort},
+		{"truncated-path", good[:len(good)-1], ErrShort},
+		{"version", mut(0, 9), ErrVersion},
+		{"flags", mut(1, 0x80), ErrFlags},
+		{"kind-zero", mut(2, 0), ErrKind},
+		{"kind-high", mut(2, 200), ErrKind},
+		{"pathlen", mut(3, MaxPathLen+1), ErrPathLen},
+		{"length", func() []byte { b := mut(12, 0); b[13] = 0; return b }(), ErrLength},
+	}
+	for _, tc := range cases {
+		var h Header
+		if _, err := Decode(tc.buf, &h); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestMarshalErrors(t *testing.T) {
+	base := sampleHeader()
+	cases := []struct {
+		name string
+		mod  func(*Header)
+		want error
+	}{
+		{"version", func(h *Header) { h.Version = 0 }, ErrVersion},
+		{"flags", func(h *Header) { h.Flags |= 1 << 7 }, ErrFlags},
+		{"kind", func(h *Header) { h.Kind = 0 }, ErrKind},
+		{"pathlen", func(h *Header) { h.PathLen = MaxPathLen + 1 }, ErrPathLen},
+		{"length", func(h *Header) { h.Length = 0 }, ErrLength},
+		{"slot", func(h *Header) { h.Cap.Slot = 256 }, ErrSlot},
+	}
+	for _, tc := range cases {
+		h := base
+		tc.mod(&h)
+		if _, err := MarshalAppend(nil, &h); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestMarshalDecodeAllocationFree(t *testing.T) {
+	h := sampleHeader()
+	buf := make([]byte, 0, MaxEncodedLen)
+	frame, err := MarshalAppend(buf, &h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Header
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := MarshalAppend(buf[:0], &h); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decode(frame, &got); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("marshal+decode allocates %v times per op, want 0", allocs)
+	}
+}
+
+func TestPacketConversion(t *testing.T) {
+	pkt := netsim.Packet{
+		ID: 42, Src: 5, Dst: 6, Size: 1000, Kind: netsim.KindData,
+		Path: pathid.New(3, 2, 1), Attack: true, Priority: true,
+	}
+	var h Header
+	if err := FromPacket(&h, &pkt); err != nil {
+		t.Fatal(err)
+	}
+	if h.Flags&FlagAttack == 0 || h.Flags&FlagPriority == 0 {
+		t.Fatalf("flags not carried: %08b", h.Flags)
+	}
+	var back netsim.Packet
+	in := NewInterner()
+	id, key := in.Resolve(&h)
+	h.ToPacket(&back, 42, id, key)
+	if back.Src != pkt.Src || back.Dst != pkt.Dst || back.Size != pkt.Size ||
+		back.Kind != pkt.Kind || !back.Path.Equal(pkt.Path) ||
+		back.PathKey != "3-2-1" || !back.Attack || !back.Priority {
+		t.Fatalf("conversion mismatch: %+v", back)
+	}
+
+	// Oversized fields are rejected on the way out.
+	long := netsim.Packet{Size: 100, Kind: netsim.KindUDP, Path: make(pathid.PathID, MaxPathLen+1)}
+	if err := FromPacket(&h, &long); !errors.Is(err, ErrPathLen) {
+		t.Fatalf("long path: err = %v", err)
+	}
+	big := netsim.Packet{Size: 1 << 17, Kind: netsim.KindUDP}
+	if err := FromPacket(&h, &big); !errors.Is(err, ErrLength) {
+		t.Fatalf("oversize packet: err = %v", err)
+	}
+}
+
+func TestInternerCanonicalizes(t *testing.T) {
+	in := NewInterner()
+	h := sampleHeader()
+	id1, key1 := in.Resolve(&h)
+	id2, key2 := in.Resolve(&h)
+	if &id1[0] != &id2[0] {
+		t.Fatal("interner returned distinct PathID allocations for one path")
+	}
+	if key1 != "64-7-1" || key2 != key1 {
+		t.Fatalf("keys: %q, %q", key1, key2)
+	}
+	if in.Len() != 1 {
+		t.Fatalf("interner holds %d entries, want 1", in.Len())
+	}
+	h.Path[0] = 65
+	if _, key := in.Resolve(&h); key != "65-7-1" {
+		t.Fatalf("second path key %q", key)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("interner holds %d entries, want 2", in.Len())
+	}
+}
+
+func TestCaptureRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewCaptureWriter(&buf)
+	hs := []Header{sampleHeader(), {Version: Version1, Kind: netsim.KindSYN, Length: 40}}
+	times := []float64{0.5, 1.25}
+	for i := range hs {
+		if err := cw.Write(times[i], &hs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Write(0.1, &hs[0]); err == nil {
+		t.Fatal("time regression accepted")
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cw.Records() != 2 {
+		t.Fatalf("records = %d", cw.Records())
+	}
+
+	cr := NewCaptureReader(&buf)
+	for i := range hs {
+		var h Header
+		tm, err := cr.Next(&h)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if tm != times[i] || h != hs[i] {
+			t.Fatalf("record %d mismatch: t=%v h=%+v", i, tm, h)
+		}
+	}
+	if _, err := cr.Next(new(Header)); err != io.EOF {
+		t.Fatalf("tail err = %v, want EOF", err)
+	}
+}
+
+func TestCaptureReaderRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"t":1,"wire":"zz"}`, // bad hex
+		`{"t":1,"wire":"01"}`, // short frame
+		`not json`,            // bad line
+		`{"t":1,"wire":"` + strings.Repeat("00", MaxEncodedLen+1) + `"}`, // oversized frame
+	}
+	for _, line := range cases {
+		cr := NewCaptureReader(strings.NewReader(line + "\n"))
+		if _, err := cr.Next(new(Header)); err == nil || err == io.EOF {
+			t.Errorf("line %q: err = %v, want decode error", line, err)
+		}
+	}
+	// Trailing garbage after a valid header on one line is rejected.
+	frame, err := MarshalAppend(nil, &Header{Version: Version1, Kind: netsim.KindUDP, Length: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := `{"t":1,"wire":"` + hexString(frame) + `00"}`
+	cr := NewCaptureReader(strings.NewReader(rec + "\n"))
+	if _, err := cr.Next(new(Header)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func hexString(b []byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 0, 2*len(b))
+	for _, v := range b {
+		out = append(out, digits[v>>4], digits[v&0xf])
+	}
+	return string(out)
+}

@@ -22,6 +22,11 @@
 #                costs more than TELEMETRY_OVERHEAD_PCT (default 3) percent
 #                over the compiled-out baseline, comparing the median of
 #                paired back-to-back runs to damp scheduler noise
+#   dataplane    wire + dataplane + flocd tests under -race, plus the
+#                BenchmarkDataplaneEnqueueSharded throughput curve
+#                (1/2/4/8 shards); on a 4+ core runner the 4-shard
+#                aggregate throughput must be >= DATAPLANE_SPEEDUP x the
+#                1-shard figure (default 2.5)
 #   fuzz smoke   each fuzz target for FUZZTIME (default 10s)
 #
 # Each stage's wall-clock time is reported in a summary at the end.
@@ -31,6 +36,9 @@
 #   TELEMETRY_OVERHEAD_PCT=3
 #                  disabled-telemetry overhead budget in percent; set to 0
 #                  to skip the benchmark comparison.
+#   DATAPLANE_SPEEDUP=2.5
+#                  required 4-shard vs 1-shard enqueue speedup on 4+ core
+#                  machines; set to 0 to skip the ratio check.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -129,6 +137,31 @@ if [ "$TELEMETRY_OVERHEAD_PCT" != "0" ]; then
     end
 fi
 
+begin dataplane
+run go test -race -count=1 ./internal/wire ./internal/dataplane ./cmd/flocd
+bench_out=$(go test -run='^$' -bench='^BenchmarkDataplaneEnqueueSharded$' \
+    -benchtime=200000x ./internal/dataplane)
+echo "$bench_out" | grep '^Benchmark' >&2
+DATAPLANE_SPEEDUP="${DATAPLANE_SPEEDUP:-2.5}"
+ncpu=$(go env GOMAXPROCS 2>/dev/null || echo 1)
+if [ "$DATAPLANE_SPEEDUP" != "0" ] && [ "$ncpu" -ge 4 ]; then
+    echo "$bench_out" | awk -v want="$DATAPLANE_SPEEDUP" '
+        /shards=1/ { one = $3 }
+        /shards=4/ { four = $3 }
+        END {
+            if (one == "" || four == "") { print "dataplane: benchmark output missing shard points" > "/dev/stderr"; exit 1 }
+            ratio = one / four
+            printf "   4-shard vs 1-shard enqueue speedup: %.2fx (required %.1fx)\n", ratio, want > "/dev/stderr"
+            exit ratio >= want ? 0 : 1
+        }' || {
+        echo "dataplane: 4-shard speedup below ${DATAPLANE_SPEEDUP}x" >&2
+        exit 1
+    }
+else
+    echo "   speedup gate skipped (GOMAXPROCS=$ncpu < 4 or DATAPLANE_SPEEDUP=0)" >&2
+fi
+end
+
 FUZZTIME="${FUZZTIME:-10s}"
 if [ "$FUZZTIME" != "0" ]; then
     begin "fuzz ($FUZZTIME/target)"
@@ -136,6 +169,8 @@ if [ "$FUZZTIME" != "0" ]; then
     run go test -run='^$' -fuzz='^FuzzTreeOps$' -fuzztime "$FUZZTIME" ./internal/pathid
     run go test -run='^$' -fuzz='^FuzzParseKey$' -fuzztime "$FUZZTIME" ./internal/pathid
     run go test -run='^$' -fuzz='^FuzzCapability$' -fuzztime "$FUZZTIME" ./internal/capability
+    run go test -run='^$' -fuzz='^FuzzWireDecode$' -fuzztime "$FUZZTIME" ./internal/wire
+    run go test -run='^$' -fuzz='^FuzzWireRoundTrip$' -fuzztime "$FUZZTIME" ./internal/wire
     end
 fi
 
