@@ -85,13 +85,15 @@ func diffFindings(a, b map[finding]int) []finding {
 
 // verifyCorpus lints every fixture package directory under root and
 // compares the findings against the WANT markers, returning one line per
-// mismatch (empty when the corpus and the rules agree).
-func verifyCorpus(root string) ([]string, error) {
+// mismatch (empty when the corpus and the rules agree) plus the per-rule
+// finding counts, which check.sh folds into its stage timing summary.
+func verifyCorpus(root string) ([]string, map[string]int, error) {
 	entries, err := os.ReadDir(root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var mismatches []string
+	counts := map[string]int{}
 	for _, e := range entries {
 		if !e.IsDir() {
 			continue
@@ -99,15 +101,16 @@ func verifyCorpus(root string) ([]string, error) {
 		dir := filepath.Join(root, e.Name())
 		want, err := scanWantMarkers(dir)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		diags, err := runLint([]string{"./" + filepath.ToSlash(dir)})
 		if err != nil {
-			return nil, fmt.Errorf("fixture %s: %v", e.Name(), err)
+			return nil, nil, fmt.Errorf("fixture %s: %v", e.Name(), err)
 		}
 		got := map[finding]int{}
 		for _, d := range diags {
 			got[finding{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line, rule: d.Rule}]++
+			counts[d.Rule]++
 		}
 		for _, miss := range diffFindings(want, got) {
 			mismatches = append(mismatches, fmt.Sprintf("%s: marker not reported: %s", e.Name(), miss))
@@ -116,5 +119,20 @@ func verifyCorpus(root string) ([]string, error) {
 			mismatches = append(mismatches, fmt.Sprintf("%s: finding without marker: %s", e.Name(), extra))
 		}
 	}
-	return mismatches, nil
+	return mismatches, counts, nil
+}
+
+// formatRuleCounts renders per-rule finding counts on one stable line.
+func formatRuleCounts(counts map[string]int) string {
+	rules := make([]string, 0, len(counts))
+	for r := range counts {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	var b strings.Builder
+	b.WriteString("per-rule fixture findings:")
+	for _, r := range rules {
+		fmt.Fprintf(&b, " %s=%d", r, counts[r])
+	}
+	return b.String()
 }

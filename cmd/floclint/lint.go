@@ -22,6 +22,8 @@ const (
 	RuleMapOrder = "map-order"
 	RuleEqGuard  = "eq-guard"
 	RuleUnits    = "units"
+	RuleAtomics  = "atomics"
+	RuleHotpath  = "hotpath"
 )
 
 // bannedTimeFuncs are the time-package functions that read the wall clock
@@ -49,21 +51,32 @@ type linter struct {
 	fset    *token.FileSet
 	info    *types.Info
 	pkgPath string
-	tbl     *unitTable       // module-wide //floc:unit annotations
-	allow   map[int][]string // line -> rules suppressed on/after that line
+	tbl     *unitTable                  // module-wide //floc:unit annotations
+	hot     *hotTable                   // module-wide //floc:hotpath///floc:coldpath annotations
+	allows  map[string]map[int][]string // filename -> line -> rules suppressed there
 	diags   []Diagnostic
 }
 
-// lintPackage runs every rule over one package's files. tbl carries the
-// //floc:unit annotations of every package in the module (the units rule
-// needs the directives of dependencies, which export data does not carry).
-func lintPackage(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath string, tbl *unitTable) []Diagnostic {
+// lintPackage runs every rule over one package's files. tbl and hot carry
+// the //floc:unit and //floc:hotpath annotations of every package in the
+// module (the units and hotpath rules need the directives of
+// dependencies, which export data does not carry).
+func lintPackage(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath string, tbl *unitTable, hot *hotTable) []Diagnostic {
 	if tbl == nil {
 		tbl = newUnitTable()
 	}
-	l := &linter{fset: fset, info: info, pkgPath: pkgPath, tbl: tbl}
+	if hot == nil {
+		hot = newHotTable()
+	}
+	l := &linter{fset: fset, info: info, pkgPath: pkgPath, tbl: tbl, hot: hot,
+		allows: map[string]map[int][]string{}}
+	// Allow maps are collected for every file up front: the atomics rule
+	// reports across file boundaries (a plain access in one file of a
+	// field used atomically in another).
 	for _, f := range files {
-		l.allow = collectAllows(fset, f)
+		l.allows[fset.Position(f.Pos()).Filename] = collectAllows(fset, f)
+	}
+	for _, f := range files {
 		l.checkImports(f)
 		l.checkUnits(f)
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -77,13 +90,18 @@ func lintPackage(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPa
 		})
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
+			if !ok {
+				continue
+			}
+			l.checkHotpath(fn)
+			if fn.Body == nil {
 				continue
 			}
 			l.checkMapOrder(fn)
 			l.checkEqGuard(fn)
 		}
 	}
+	l.checkAtomics(files)
 	return l.diags
 }
 
@@ -103,7 +121,8 @@ func collectAllows(fset *token.FileSet, f *ast.File) map[int][]string {
 				return r == ' ' || r == ',' || r == '\t'
 			}) {
 				switch field {
-				case RuleSimTime, RuleFloatEq, RuleMapOrder, RuleEqGuard, RuleUnits:
+				case RuleSimTime, RuleFloatEq, RuleMapOrder, RuleEqGuard, RuleUnits,
+					RuleAtomics, RuleHotpath:
 					allow[line] = append(allow[line], field)
 				default:
 					// First non-rule token starts the justification text.
@@ -118,8 +137,9 @@ func collectAllows(fset *token.FileSet, f *ast.File) map[int][]string {
 // preceding line suppresses the rule.
 func (l *linter) report(pos token.Pos, rule, format string, args ...any) {
 	p := l.fset.Position(pos)
+	allow := l.allows[p.Filename]
 	for _, line := range []int{p.Line, p.Line - 1} {
-		for _, r := range l.allow[line] {
+		for _, r := range allow[line] {
 			if r == rule {
 				return
 			}

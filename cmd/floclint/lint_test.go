@@ -35,7 +35,7 @@ func lintFixture(t *testing.T, dir string) map[finding]int {
 // TestSeededViolations checks that every seeded violation is reported at
 // its exact position, and nothing else is.
 func TestSeededViolations(t *testing.T) {
-	for _, fixture := range []string{"timeviol", "floateq", "maporder", "eqguard", "units"} {
+	for _, fixture := range []string{"timeviol", "floateq", "maporder", "eqguard", "units", "atomics", "hotpath"} {
 		t.Run(fixture, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", fixture)
 			want := wantMarkers(t, dir)
@@ -56,7 +56,7 @@ func TestSeededViolations(t *testing.T) {
 // TestCleanFixture checks the negative case: files exercising near-miss
 // patterns of every rule yield zero findings.
 func TestCleanFixture(t *testing.T) {
-	for _, fixture := range []string{"clean", "unitsclean"} {
+	for _, fixture := range []string{"clean", "unitsclean", "atomicsclean", "hotpathclean"} {
 		t.Run(fixture, func(t *testing.T) {
 			got := lintFixture(t, filepath.Join("testdata", "src", fixture))
 			if len(got) != 0 {
@@ -70,12 +70,17 @@ func TestCleanFixture(t *testing.T) {
 // the same comparison the per-fixture tests make, through the entry point
 // check.sh invokes.
 func TestVerifyCorpus(t *testing.T) {
-	mismatches, err := verifyCorpus(filepath.Join("testdata", "src"))
+	mismatches, counts, err := verifyCorpus(filepath.Join("testdata", "src"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, m := range mismatches {
 		t.Errorf("corpus mismatch: %s", m)
+	}
+	for _, rule := range []string{RuleSimTime, RuleFloatEq, RuleMapOrder, RuleEqGuard, RuleUnits, RuleAtomics, RuleHotpath} {
+		if counts[rule] == 0 {
+			t.Errorf("corpus exercises no %s findings", rule)
+		}
 	}
 }
 
@@ -87,6 +92,24 @@ func TestSelfClean(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("floclint is not self-clean: %s: %s: %s", d.Pos, d.Rule, d.Msg)
+	}
+}
+
+// TestRepoSelfClean runs every rule over every package in the module and
+// asserts zero findings: the repo's own code is the ultimate clean
+// fixture, and this is what keeps the lint gate from drifting away from
+// the tree (a rule change that suddenly flags shipped code fails here,
+// not in CI's scripted stage).
+func TestRepoSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped with -short")
+	}
+	diags, err := runLint([]string{"floc/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo is not floclint-clean: %s: %s: %s", d.Pos, d.Rule, d.Msg)
 	}
 }
 

@@ -21,6 +21,17 @@
 //	             internal/units types: additions, comparisons, and calls
 //	             must agree on packets, bits, bytes, seconds, tokens, and
 //	             their rates; see DESIGN.md for the directive grammar.
+//	atomics    — any struct field passed by address to a sync/atomic
+//	             function must be accessed atomically everywhere in the
+//	             package; structs containing atomic state must not be
+//	             copied; 64-bit function-style atomic fields must sit at
+//	             8-byte-aligned offsets under 32-bit layout.
+//	hotpath    — functions annotated //floc:hotpath (the per-packet path)
+//	             must avoid allocation-prone constructs (map iteration,
+//	             defer, fmt/string concatenation, interface boxing,
+//	             escaping closures, make/new, un-preallocated append),
+//	             and every module callee must be annotated //floc:hotpath
+//	             or //floc:coldpath <reason>; see DESIGN.md.
 //
 // A finding can be suppressed, with justification, by a trailing or
 // preceding comment: //floclint:allow <rule> [reason].
@@ -65,7 +76,7 @@ func main() {
 	patterns := flag.Args()
 	failed := false
 	if *fixtures != "" {
-		mismatches, err := verifyCorpus(*fixtures)
+		mismatches, counts, err := verifyCorpus(*fixtures)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "floclint:", err)
 			os.Exit(2)
@@ -73,6 +84,7 @@ func main() {
 		for _, m := range mismatches {
 			fmt.Println(m)
 		}
+		fmt.Println(formatRuleCounts(counts))
 		failed = len(mismatches) > 0
 	}
 	if len(patterns) == 0 && *fixtures == "" {
@@ -169,10 +181,11 @@ func runLint(patterns []string) ([]Diagnostic, error) {
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
-	// The units rule needs //floc:unit directives from every module package
-	// in the closure, linted or not: export data carries no comments, so
-	// dependency annotations are collected by a syntax-only parse here.
-	tbl, err := collectUnitTable(pkgs)
+	// The units and hotpath rules need //floc:unit and //floc:hotpath
+	// directives from every module package in the closure, linted or not:
+	// export data carries no comments, so dependency annotations are
+	// collected by a syntax-only parse here.
+	tbl, hot, err := collectDirectiveTables(pkgs)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +194,7 @@ func runLint(patterns []string) ([]Diagnostic, error) {
 	imp := exportImporter(fset, exports)
 	var all []Diagnostic
 	for _, p := range targets {
-		diags, err := lintOne(fset, imp, p, tbl)
+		diags, err := lintOne(fset, imp, p, tbl, hot)
 		if err != nil {
 			return nil, err
 		}
@@ -203,30 +216,34 @@ func runLint(patterns []string) ([]Diagnostic, error) {
 	return all, nil
 }
 
-// collectUnitTable syntax-parses every non-standard package in the load
-// closure and gathers its //floc:unit annotations.
-func collectUnitTable(pkgs []*listPkg) (*unitTable, error) {
+// collectDirectiveTables syntax-parses every non-standard package in the
+// load closure and gathers its //floc:unit and //floc:hotpath directives
+// in one pass.
+func collectDirectiveTables(pkgs []*listPkg) (*unitTable, *hotTable, error) {
 	tbl := newUnitTable()
+	hot := newHotTable()
 	cfset := token.NewFileSet()
 	for _, p := range pkgs {
 		if p.Standard {
 			continue
 		}
+		hot.pkgs[p.ImportPath] = true
 		for _, name := range p.GoFiles {
 			f, err := parser.ParseFile(cfset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			collectUnitDecls(p.ImportPath, f, tbl)
+			collectHotDecls(p.ImportPath, f, hot)
 		}
 	}
-	return tbl, nil
+	return tbl, hot, nil
 }
 
 // lintOne parses and type-checks one package and runs the rules over it.
 // Only non-test Go files are linted: tests are free to use wall-clock
 // time, and the determinism contract covers simulation code only.
-func lintOne(fset *token.FileSet, imp types.Importer, p *listPkg, tbl *unitTable) ([]Diagnostic, error) {
+func lintOne(fset *token.FileSet, imp types.Importer, p *listPkg, tbl *unitTable, hot *hotTable) ([]Diagnostic, error) {
 	files := make([]*ast.File, 0, len(p.GoFiles))
 	for _, name := range p.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
@@ -245,5 +262,5 @@ func lintOne(fset *token.FileSet, imp types.Importer, p *listPkg, tbl *unitTable
 	if _, err := conf.Check(p.ImportPath, fset, files, info); err != nil {
 		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
 	}
-	return lintPackage(fset, files, info, p.ImportPath, tbl), nil
+	return lintPackage(fset, files, info, p.ImportPath, tbl, hot), nil
 }

@@ -1,0 +1,81 @@
+// Package hotpathclean exercises near-misses of the hotpath rule that
+// must yield zero findings: the banned constructs in unannotated
+// functions, sanctioned cold excursions, and the allocation-free idioms
+// hot code is expected to use instead.
+package hotpathclean
+
+// buf owns preallocated scratch storage; note that prose mentioning the
+// floc:hotpath directive mid-sentence does not annotate anything.
+type buf struct {
+	scratch []int
+}
+
+// fill appends into struct-owned storage after a length reset: no fresh
+// slice, no growth in steady state.
+//
+// floc:hotpath
+func (b *buf) fill(src []int) {
+	b.scratch = b.scratch[:0]
+	for _, v := range src {
+		b.scratch = append(b.scratch, v)
+	}
+}
+
+// grow is the cold allocation site backing the hot path.
+//
+// floc:coldpath backing storage is grown off the per-packet path
+func grow(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// lookup takes the sanctioned cold excursion on the slow case.
+//
+// floc:hotpath
+func (b *buf) lookup(i int) int {
+	if i >= len(b.scratch) {
+		b.scratch = grow(i + 1)
+	}
+	return b.scratch[i]
+}
+
+// double calls only annotated-hot module code.
+//
+// floc:hotpath
+func double(x int) int { return addSelf(x) }
+
+// addSelf is a hot leaf.
+//
+// floc:hotpath
+func addSelf(x int) int { return x + x }
+
+// tag concatenates compile-time constants: folded, no runtime concat.
+//
+// floc:hotpath
+func tag() string {
+	const prefix = "floc"
+	return prefix + "-hot"
+}
+
+// store hands a pointer to an interface slot: pointer-shaped, no boxing.
+//
+// floc:hotpath
+func store(p *buf) any {
+	return p
+}
+
+// helper is unannotated and free to use every construct the rule bans in
+// hot functions.
+func helper(m map[string]int) int {
+	defer func() {}()
+	out := make([]int, 0)
+	out = append(out, len(m))
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n + out[0]
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"floc/internal/netsim"
+	"floc/internal/pathid"
+)
+
+// TestZeroAllocEnqueueBatch gates the router's steady-state admission
+// path: once a path and its flow exist, running packets through
+// EnqueueBatch (and draining the output queue) must not allocate. This is
+// the dynamic counterpart of floclint's hotpath rule on Enqueue — the
+// rule bans the constructs, this proves the escape analysis agrees.
+func TestZeroAllocEnqueueBatch(t *testing.T) {
+	r, err := NewRouter(DefaultConfig(1e9, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := pathid.New(7, 3, 1)
+	key := path.Key()
+	const now = 1.0
+
+	items := make([]BatchItem, 8)
+	pkts := make([]netsim.Packet, len(items))
+	for i := range items {
+		pkts[i] = netsim.Packet{
+			ID: uint64(i), Src: 1, Dst: 2, Size: 1000,
+			Kind: netsim.KindUDP, Path: path, PathKey: key,
+		}
+		items[i] = BatchItem{Pkt: &pkts[i], At: now}
+	}
+
+	// Warm up: first control run, path-state and flow-state creation, and
+	// FIFO buffer growth all happen here, off the measured region.
+	for i := 0; i < 64; i++ {
+		r.EnqueueBatch(items)
+		for r.Dequeue(now) != nil {
+		}
+	}
+
+	if avg := testing.AllocsPerRun(100, func() {
+		r.EnqueueBatch(items)
+		for r.Dequeue(now) != nil {
+		}
+	}); avg != 0 {
+		t.Fatalf("EnqueueBatch steady state allocates %.1f times per op, want 0", avg)
+	}
+}

@@ -16,6 +16,7 @@ import (
 // parameter recomputation (Eqs. IV.1-IV.3), and attack-path detection
 // (Section IV-B.1).
 // floc:unit now seconds
+// floc:coldpath the periodic control loop runs once per interval, not per packet
 func (r *Router) runControl(now float64) {
 	interval := now - r.lastControl
 	if r.controlRuns == 0 || interval <= 0 {
@@ -146,6 +147,7 @@ func (r *Router) updateConformance(now float64) {
 // rttOf returns a path's (scaled, under-estimated) RTT for parameter
 // computation; aggregates use the flow-weighted mean of their members.
 // floc:unit return seconds
+// floc:hotpath
 func (r *Router) rttOf(ps *pathState) float64 {
 	raw := 0.0
 	if ps.members == nil {

@@ -30,6 +30,7 @@ const (
 )
 
 // String implements fmt.Stringer.
+// floc:hotpath
 func (m Mode) String() string {
 	switch m {
 	case ModeUncongested:
@@ -103,6 +104,7 @@ type flowState struct {
 // in tokens/second.
 // floc:unit controlInterval seconds
 // floc:unit return tokens/s
+// floc:hotpath
 func (fs *flowState) offeredRate(controlInterval float64) float64 {
 	rate := fs.arrivedRate
 	if cur := fs.arrived / controlInterval; cur > rate {
@@ -162,6 +164,7 @@ type pathState struct {
 }
 
 // effective returns the path identifier that owns this path's bucket.
+// floc:hotpath
 func (p *pathState) effective() *pathState {
 	if p.aggregate != nil {
 		return p.aggregate
@@ -170,6 +173,7 @@ func (p *pathState) effective() *pathState {
 }
 
 // flowCount returns the number of live flows (aggregates sum members).
+// floc:hotpath
 func (p *pathState) flowCount() int {
 	if p.members == nil {
 		return len(p.flows)
@@ -258,6 +262,7 @@ func NewRouter(cfg Config) (*Router, error) {
 }
 
 // Mode returns the current queue mode.
+// floc:hotpath
 func (r *Router) Mode() Mode {
 	q := float64(r.fifo.Len())
 	switch {
@@ -294,6 +299,7 @@ func (r *Router) Admitted() int64 { return r.admitted }
 func (r *Router) ControlRuns() int { return r.controlRuns }
 
 // acctKey computes a packet's flow accounting identity and hash.
+// floc:hotpath
 func (r *Router) acctKey(pkt *netsim.Packet) (flowKey, uint64) {
 	if r.issuer == nil {
 		k := flowKey{src: pkt.Src, id: pkt.Dst}
@@ -302,19 +308,42 @@ func (r *Router) acctKey(pkt *netsim.Packet) (flowKey, uint64) {
 	fid := pkt.Flow()
 	slot, ok := r.slots[fid]
 	if !ok {
-		c := r.issuer.Issue(pkt.Src, pkt.Dst, pkt.Path)
-		slot = uint32(c.Slot)
-		r.slots[fid] = slot
-		r.acct.Open(pkt.Src, c)
+		slot = r.openSlot(pkt, fid)
 	}
 	k := flowKey{src: pkt.Src, id: slot}
 	// Salt the hash so slot ids don't collide with destination addresses.
 	return k, dropfilter.FlowHash(k.src, k.id^0x5a5a5a5a)
 }
 
+// openSlot issues a capability for a flow's first packet and caches its
+// fan-out slot.
+// floc:coldpath capability issue happens once per flow, not per packet
+func (r *Router) openSlot(pkt *netsim.Packet, fid netsim.FlowID) uint32 {
+	c := r.issuer.Issue(pkt.Src, pkt.Dst, pkt.Path)
+	slot := uint32(c.Slot)
+	r.slots[fid] = slot
+	r.acct.Open(pkt.Src, c)
+	return slot
+}
+
 // origin returns (creating if necessary) the origin path state for pkt.
 // floc:unit now seconds
+// floc:hotpath
 func (r *Router) origin(pkt *netsim.Packet, now float64) *pathState {
+	if pkt.PathKey != "" {
+		if ps, ok := r.origins[pkt.PathKey]; ok {
+			return ps
+		}
+	}
+	return r.originMiss(pkt, now)
+}
+
+// originMiss is origin's slow path: packets without a precomputed key
+// (which must render one) and the first packet of a path (which builds
+// its state).
+// floc:unit now seconds
+// floc:coldpath key rendering and path-state creation happen off the keyed fast path
+func (r *Router) originMiss(pkt *netsim.Packet, now float64) *pathState {
 	key := pkt.PathKey
 	if key == "" {
 		key = pkt.Path.Key()
@@ -357,6 +386,7 @@ func (r *Router) origin(pkt *netsim.Packet, now float64) *pathState {
 // blocks — every packet ends in exactly one of the two — so it sees the
 // post-decision queue length without a wrapper call on the hot path.
 // floc:unit now seconds
+// floc:hotpath
 func (r *Router) Enqueue(pkt *netsim.Packet, now float64) bool {
 	if now-r.lastControl >= r.cfg.ControlInterval {
 		r.runControl(now)
@@ -455,6 +485,7 @@ func (r *Router) Enqueue(pkt *netsim.Packet, now float64) bool {
 
 // sizeBucket switches a path's bucket between N' (congested) and N
 // (flooding) as the router mode changes.
+// floc:hotpath
 func (r *Router) sizeBucket(eff *pathState, flooding bool) {
 	if eff.bucketFlood == flooding {
 		return
@@ -482,6 +513,7 @@ const minBucketTokens = 2
 // floc:unit size tokens
 // floc:unit outPeriod seconds
 // floc:unit outSize tokens
+// floc:hotpath
 func normalizeBucket(period, size float64) (outPeriod, outSize float64) {
 	if size >= minBucketTokens {
 		return period, size
@@ -495,6 +527,7 @@ func normalizeBucket(period, size float64) (outPeriod, outSize float64) {
 // (Eq. IV.5 with the Section V-B drop-record filter). It returns true if
 // the packet was dropped.
 // floc:unit now seconds
+// floc:hotpath
 func (r *Router) preferentialDrop(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, now float64) bool {
 	if r.cfg.DisablePreferentialDrop {
 		return false
@@ -541,6 +574,7 @@ func (r *Router) preferentialDrop(pkt *netsim.Packet, orig, eff *pathState, fs *
 // path identifier, floored at one packet per RTT: a responsive flow
 // cannot run below that, so the penalty machinery never demands it.
 // floc:unit return tokens/s
+// floc:hotpath
 func (r *Router) fairShare(eff *pathState) float64 {
 	n := eff.flowCount()
 	if n < 1 {
@@ -575,6 +609,7 @@ func (r *Router) FlowExcess(src, dst uint32, path pathid.PathID, now float64) fl
 // admit puts the packet on the physical queue and meters the flow.
 // floc:unit tokens tokens
 // floc:unit now seconds
+// floc:hotpath
 func (r *Router) admit(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, tokens, now float64) bool {
 	if !r.fifo.Enqueue(pkt, now) {
 		// Physical overflow: the effective path still pays for it.
@@ -596,6 +631,7 @@ func (r *Router) admit(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, 
 // separate method so admit's disabled-telemetry path pays one branch and
 // keeps its pre-telemetry stack frame.
 // floc:unit now seconds
+// floc:hotpath
 func (r *Router) observeAdmit(orig *pathState, fs *flowState, now float64) {
 	// arrived == admitted + dropped, so metering it here and in drop
 	// spares the admission body a separate telemetry branch per packet.
@@ -619,6 +655,7 @@ func (r *Router) observeAdmit(orig *pathState, fs *flowState, now float64) {
 // observeDrop meters a dropped packet and emits its trace event; the
 // same frame-size consideration as observeAdmit applies.
 // floc:unit now seconds
+// floc:hotpath
 func (r *Router) observeDrop(orig *pathState, fs *flowState, now float64, reason DropReason) {
 	r.met.arrived.Inc()
 	r.met.drops[reason].Inc()
@@ -640,6 +677,7 @@ func (r *Router) observeDrop(orig *pathState, fs *flowState, now float64, reason
 // epoch returns a path's congestion epoch (W/2 * RTT == RefMTD) for the
 // drop filter, floored to the filter tick.
 // floc:unit return seconds
+// floc:hotpath
 func (r *Router) epoch(eff *pathState) float64 {
 	e := eff.params.RefMTD
 	if e < r.epochFloor {
@@ -649,6 +687,7 @@ func (r *Router) epoch(eff *pathState) float64 {
 }
 
 // filterK returns the array-selection parameter for a path's flows.
+// floc:hotpath
 func (r *Router) filterK(eff *pathState) int {
 	if eff.attack && r.cfg.FilterK > 0 {
 		return r.cfg.FilterK
@@ -670,6 +709,7 @@ func (r *Router) filterK(eff *pathState) int {
 // share, instead of converging at the paper's equilibrium
 // alpha*(1-P_pd) = 1 (admitted == fair share).
 // floc:unit now seconds
+// floc:hotpath
 func (r *Router) drop(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, now float64, reason DropReason) {
 	r.dropCounts[reason]++
 	eff.drops++
@@ -702,6 +742,7 @@ func (r *Router) drop(pkt *netsim.Packet, orig, eff *pathState, fs *flowState, n
 
 // Dequeue implements netsim.Discipline.
 // floc:unit now seconds
+// floc:hotpath
 func (r *Router) Dequeue(now float64) *netsim.Packet {
 	pkt := r.fifo.Dequeue(now)
 	if telemetry.Compiled && r.tel != nil && pkt != nil {
@@ -714,6 +755,7 @@ func (r *Router) Dequeue(now float64) *netsim.Packet {
 // mode-edge detector; a separate method so Dequeue's disabled-telemetry
 // path stays small.
 // floc:unit now seconds
+// floc:hotpath
 func (r *Router) observeDequeue(now float64) {
 	if at := r.delayQ.pop(); !math.IsNaN(at) {
 		r.met.queueDelay.Observe(now - at)
@@ -722,4 +764,5 @@ func (r *Router) observeDequeue(now float64) {
 }
 
 // Len implements netsim.Discipline.
+// floc:hotpath
 func (r *Router) Len() int { return r.fifo.Len() }

@@ -122,6 +122,7 @@ func (r *Router) bindPathCounters(ps *pathState) {
 // telemetry is attached; mode is pure function of queue length and the
 // thresholds, so this reconstructs every transition.
 // floc:unit now seconds
+// floc:hotpath
 func (r *Router) noteMode(now float64) {
 	m := r.Mode()
 	if m == r.lastMode {
@@ -226,9 +227,11 @@ type timeQueue struct {
 }
 
 // floc:unit t seconds
+// floc:hotpath
 func (q *timeQueue) push(t float64) { q.buf = append(q.buf, t) }
 
 // floc:unit return seconds
+// floc:hotpath
 func (q *timeQueue) pop() float64 {
 	if q.head >= len(q.buf) {
 		return math.NaN() // desynced (telemetry attached mid-run); skip

@@ -231,6 +231,7 @@ func (e *Engine) ShardOf(path pathid.PathID) int {
 // sequence) onto [0, n). FNV is enough here: path identifiers are
 // assigned by topology, not chosen by the attacker per-packet — a flow
 // cannot re-shard itself by varying header bytes the router would reject.
+// floc:hotpath
 func pathShard(path pathid.PathID, n int) int {
 	const (
 		offset64 = 14695981039346656037
@@ -253,6 +254,7 @@ func pathShard(path pathid.PathID, n int) int {
 // BlockOnFull the full case yields and retries instead. The packet must
 // not be mutated after a successful Enqueue.
 // floc:unit now seconds
+// floc:hotpath
 func (e *Engine) Enqueue(pkt *netsim.Packet, now float64) bool {
 	if e.closed.Load() {
 		return false
@@ -284,6 +286,7 @@ func (e *Engine) Enqueue(pkt *netsim.Packet, now float64) bool {
 // the worker stores sleeping=true before its final emptiness check — so
 // either the worker sees the item, or the producer sees sleeping and the
 // buffered doorbell survives until the worker selects on it.
+// floc:hotpath
 func (sh *shard) ringWake() {
 	if sh.sleeping.Load() {
 		select {
@@ -335,6 +338,7 @@ func (sh *shard) run() {
 // up to the batch head's arrival time first, so queue occupancy tracks
 // arrival time the same way the simulator's event loop interleaves
 // enqueues and dequeues.
+// floc:hotpath
 func (sh *shard) process(items []item) {
 	sh.serve(items[0].at)
 	sh.bi = sh.bi[:0]
@@ -348,6 +352,7 @@ func (sh *shard) process(items []item) {
 // serve drains the router's output queue through the shard's share of
 // the link until the virtual transmitter catches up with now.
 // floc:unit now seconds
+// floc:hotpath
 func (sh *shard) serve(now float64) {
 	for sh.free <= now {
 		pkt := sh.router.Dequeue(sh.free)

@@ -42,6 +42,7 @@ func newRing(size int) *ring {
 
 // tryEnqueue publishes one item. It returns false when the ring is full —
 // the caller decides whether to drop (accounted) or back off.
+// floc:hotpath
 func (r *ring) tryEnqueue(it item) bool {
 	pos := r.enq.Load()
 	for {
@@ -67,6 +68,7 @@ func (r *ring) tryEnqueue(it item) bool {
 
 // dequeueBatch moves up to len(dst) published items into dst and returns
 // how many it moved. Consumer-only.
+// floc:hotpath
 func (r *ring) dequeueBatch(dst []item) int {
 	n := 0
 	for n < len(dst) {
@@ -88,6 +90,7 @@ func (r *ring) dequeueBatch(dst []item) int {
 // empty reports whether the consumer has caught up with all published
 // items. Consumer-side check; a concurrent producer can make it stale
 // immediately.
+// floc:hotpath
 func (r *ring) empty() bool {
 	s := &r.slots[r.deq&r.mask]
 	return int64(s.seq.Load())-int64(r.deq+1) < 0

@@ -106,6 +106,8 @@ func (f *Filter) Live() int { return f.live }
 
 // FlowHash hashes a flow identifier (source, destination) to the 64-bit
 // value the filter indexes with (FNV-1a).
+//
+// floc:hotpath
 func FlowHash(src, dst uint32) uint64 {
 	const (
 		offset = 14695981039346656037
@@ -123,33 +125,51 @@ func FlowHash(src, dst uint32) uint64 {
 }
 
 // slotIndex returns the slot of flow h in array i (double hashing).
+//
+// floc:hotpath
 func (f *Filter) slotIndex(h uint64, i int) uint64 {
 	h2 := h>>33 | 1 // odd stride
 	return (h + uint64(i)*h2) & f.mask
 }
 
+// arraySpan is the set of arrays a flow touches, as a value: start index,
+// count, and modulus. It replaces a per-operation []int (RecordDrop and
+// Query run per dropped packet, and a heap allocation each was the
+// filter's entire steady-state garbage). Iterate with index(j), j in
+// [0, n): the visiting order is identical to the slice it replaced —
+// 0..m-1 when unrestricted, (start+j) mod m when restricted.
+type arraySpan struct {
+	start, n, m int
+}
+
+// index returns the j'th array of the span.
+//
+// floc:hotpath
+func (s arraySpan) index(j int) int {
+	i := s.start + j
+	if i >= s.m {
+		i -= s.m
+	}
+	return i
+}
+
 // arraysFor returns which arrays a flow touches when restricted to k of m
 // (probabilistic array selection, Section V-B.5). k <= 0 or k >= m means
 // all arrays.
-func (f *Filter) arraysFor(h uint64, k int) []int {
+//
+// floc:hotpath
+func (f *Filter) arraysFor(h uint64, k int) arraySpan {
 	m := f.cfg.Arrays
 	if k <= 0 || k >= m {
-		out := make([]int, m)
-		for i := range out {
-			out[i] = i
-		}
-		return out
+		return arraySpan{start: 0, n: m, m: m}
 	}
-	start := int((h >> 17) % uint64(m))
-	out := make([]int, k)
-	for j := 0; j < k; j++ {
-		out[j] = (start + j) % m
-	}
-	return out
+	return arraySpan{start: int((h >> 17) % uint64(m)), n: k, m: m}
 }
 
 // ticks quantizes a time in seconds to filter ticks.
 // floc:unit now seconds
+//
+// floc:hotpath
 func (f *Filter) ticks(now float64) uint32 {
 	if now <= 0 {
 		return 0
@@ -162,6 +182,8 @@ func (f *Filter) ticks(now float64) uint32 {
 // elapsed since t_l. If d reaches zero the record clears (a legitimate
 // flow's normal drop is removed from the filter). epochTicks is the path's
 // congestion epoch (W/2 * RTT) in ticks.
+//
+// floc:hotpath
 func (f *Filter) decay(r *record, nowTicks, epochTicks uint32) {
 	if r.ts == 0 && r.d == 0 {
 		return // empty
@@ -201,6 +223,8 @@ func (f *Filter) decay(r *record, nowTicks, epochTicks uint32) {
 // preserved; use 1 for exact recording.
 // floc:unit now seconds
 // floc:unit epoch seconds
+//
+// floc:hotpath
 func (f *Filter) RecordDrop(h uint64, now, epoch float64, k int, weight uint32) {
 	f.recordOps++
 	if weight < 1 {
@@ -211,7 +235,9 @@ func (f *Filter) RecordDrop(h uint64, now, epoch float64, k int, weight uint32) 
 	if epochTicks == 0 {
 		epochTicks = 1
 	}
-	for _, i := range f.arraysFor(h, k) {
+	span := f.arraysFor(h, k)
+	for j := 0; j < span.n; j++ {
+		i := span.index(j)
 		r := &f.slots[i][f.slotIndex(h, i)]
 		f.decay(r, nowTicks, epochTicks)
 		add := weight
@@ -257,6 +283,8 @@ type State struct {
 //
 // floc:eq V-B.2 (P_e = d/t_s)
 // floc:unit return ratio
+//
+// floc:hotpath
 func (s State) Excess() float64 {
 	if s.TS == 0 {
 		return 0
@@ -277,6 +305,8 @@ func (s State) Excess() float64 {
 //
 // floc:eq V.1 (P_pd = d/(t_s+d))
 // floc:unit return ratio
+//
+// floc:hotpath
 func (s State) PrefDropProb() float64 {
 	if s.D == 0 {
 		return 0
@@ -290,6 +320,8 @@ func (s State) PrefDropProb() float64 {
 // read). k must match the k used for RecordDrop for this flow's path.
 // floc:unit now seconds
 // floc:unit epoch seconds
+//
+// floc:hotpath
 func (f *Filter) Query(h uint64, now, epoch float64, k int) State {
 	f.queryOps++
 	nowTicks := f.ticks(now)
@@ -298,7 +330,9 @@ func (f *Filter) Query(h uint64, now, epoch float64, k int) State {
 		epochTicks = 1
 	}
 	best := State{TS: math.MaxUint32, D: math.MaxUint32}
-	for _, i := range f.arraysFor(h, k) {
+	span := f.arraysFor(h, k)
+	for j := 0; j < span.n; j++ {
+		i := span.index(j)
 		r := f.slots[i][f.slotIndex(h, i)] // copy; decay without storing
 		f.decayCopy(&r, nowTicks, epochTicks)
 		if r.ts == 0 && r.d == 0 {
@@ -324,6 +358,8 @@ func (f *Filter) Query(h uint64, now, epoch float64, k int) State {
 }
 
 // decayCopy is decay without live-count bookkeeping, for query-time copies.
+//
+// floc:hotpath
 func (f *Filter) decayCopy(r *record, nowTicks, epochTicks uint32) {
 	if r.ts == 0 && r.d == 0 {
 		return

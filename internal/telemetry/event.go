@@ -127,6 +127,7 @@ func NewTrace(capacity int) *Trace {
 }
 
 // Add appends one event, overwriting the oldest if the ring is full.
+// floc:hotpath
 func (t *Trace) Add(e Event) {
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, e)

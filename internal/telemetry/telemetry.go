@@ -37,6 +37,7 @@ func New(opts Options) *Telemetry {
 // Emit appends e to the trace if tracing is enabled. Safe on a nil
 // receiver and when the trace is disabled, so producers can call it
 // unconditionally off the hot path.
+// floc:hotpath
 func (t *Telemetry) Emit(e Event) {
 	if t == nil || t.Trace == nil {
 		return

@@ -52,6 +52,7 @@ func New(period, size float64) (*Bucket, error) {
 // to the new size.
 // floc:unit period seconds
 // floc:unit size tokens
+// floc:coldpath reconfiguration happens at mode flips and control-run recomputation
 func (b *Bucket) SetParams(period, size float64) error {
 	if period <= 0 {
 		return fmt.Errorf("tokenbucket: non-positive period %v", period)
@@ -77,6 +78,7 @@ func (b *Bucket) Size() float64 { return b.size }
 
 // advance rolls the bucket forward to now, refilling at period boundaries.
 // floc:unit now seconds
+// floc:hotpath
 func (b *Bucket) advance(now float64) {
 	if !b.started {
 		b.started = true
@@ -109,6 +111,7 @@ func (b *Bucket) advance(now float64) {
 // (consuming nothing).
 // floc:unit now seconds
 // floc:unit n tokens
+// floc:hotpath
 func (b *Bucket) Take(now, n float64) bool {
 	b.advance(now)
 	b.requested += n

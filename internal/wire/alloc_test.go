@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"testing"
+
+	"floc/internal/netsim"
+)
+
+// The codec carries a zero-allocation contract on its //floc:hotpath
+// functions: decode into a caller-owned Header, marshal into a
+// caller-owned buffer, and steady-state interner hits must not touch the
+// heap. floclint's hotpath rule enforces this statically; these gates
+// enforce it against the compiler's actual escape analysis.
+
+func TestZeroAllocDecode(t *testing.T) {
+	h := sampleHeader()
+	buf, err := MarshalAppend(nil, &h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Header
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := Decode(buf, &got); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("Decode allocates %.1f times per op, want 0", avg)
+	}
+}
+
+func TestZeroAllocMarshalAppend(t *testing.T) {
+	h := sampleHeader()
+	dst := make([]byte, 0, MaxEncodedLen)
+	if avg := testing.AllocsPerRun(200, func() {
+		out, err := MarshalAppend(dst[:0], &h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) == 0 {
+			t.Fatal("empty encoding")
+		}
+	}); avg != 0 {
+		t.Fatalf("MarshalAppend allocates %.1f times per op, want 0", avg)
+	}
+}
+
+func TestZeroAllocInternerResolve(t *testing.T) {
+	h := sampleHeader()
+	in := NewInterner()
+	in.Resolve(&h) // first sighting interns (the sanctioned cold path)
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, key := in.Resolve(&h); key == "" {
+			t.Fatal("empty key")
+		}
+	}); avg != 0 {
+		t.Fatalf("Interner.Resolve steady state allocates %.1f times per op, want 0", avg)
+	}
+}
+
+func TestZeroAllocFromPacket(t *testing.T) {
+	h := sampleHeader()
+	var pkt netsim.Packet
+	pkt.Size = int(h.Length)
+	pkt.Kind = h.Kind
+	var out Header
+	if avg := testing.AllocsPerRun(200, func() {
+		pkt2 := pkt
+		if err := FromPacket(&out, &pkt2); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("FromPacket allocates %.1f times per op, want 0", avg)
+	}
+}
+
+// BenchmarkWireDecode is the codec half of the perf baseline
+// (scripts/bench-snapshot.sh): ns/op to decode one representative header
+// with a path and capability trailer.
+func BenchmarkWireDecode(b *testing.B) {
+	h := sampleHeader()
+	buf, err := MarshalAppend(nil, &h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var got Header
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf, &got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireMarshalAppend measures the encode direction into a
+// recycled buffer, the shape flocd's transmit path uses.
+func BenchmarkWireMarshalAppend(b *testing.B) {
+	h := sampleHeader()
+	dst := make([]byte, 0, MaxEncodedLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := MarshalAppend(dst[:0], &h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = out[:0]
+	}
+}

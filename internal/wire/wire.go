@@ -111,7 +111,41 @@ type Header struct {
 	Cap     capability.Capability
 }
 
+// Error constructors. Wrapping a sentinel goes through fmt, which has no
+// place in the per-packet codec functions; the constructors fence that
+// work off as sanctioned cold excursions (errors are the exceptional
+// outcome — a flood of malformed packets pays for its own formatting).
+
+// errValue wraps a sentinel with a single numeric detail.
+//
+// floc:coldpath error construction is off the codec fast path
+func errValue(sentinel error, v int) error { return fmt.Errorf("%w: %d", sentinel, v) }
+
+// errRange wraps a sentinel with a value/limit pair.
+//
+// floc:coldpath error construction is off the codec fast path
+func errRange(sentinel error, v, limit int) error {
+	return fmt.Errorf("%w: %d > %d", sentinel, v, limit)
+}
+
+// errShort reports a have/need buffer shortfall.
+//
+// floc:coldpath error construction is off the codec fast path
+func errShort(have, need int) error { return fmt.Errorf("%w: %d < %d", ErrShort, have, need) }
+
+// errBadFlags reports the offending unknown bits.
+//
+// floc:coldpath error construction is off the codec fast path
+func errBadFlags(bad Flags) error { return fmt.Errorf("%w: %#02x", ErrFlags, uint8(bad)) }
+
+// errZeroLength reports a zero declared length.
+//
+// floc:coldpath error construction is off the codec fast path
+func errZeroLength() error { return fmt.Errorf("%w: zero", ErrLength) }
+
 // EncodedLen returns the exact number of bytes MarshalAppend would write.
+//
+// floc:hotpath
 func (h *Header) EncodedLen() int {
 	n := headerFixedLen + 4*int(h.PathLen)
 	if h.Flags&FlagCapability != 0 {
@@ -122,24 +156,26 @@ func (h *Header) EncodedLen() int {
 
 // validate checks the header's encodable range; shared by MarshalAppend
 // (reject before writing) and Decode (reject foreign input).
+//
+// floc:hotpath
 func (h *Header) validate() error {
 	if h.Version != Version1 {
-		return fmt.Errorf("%w: %d", ErrVersion, h.Version)
+		return errValue(ErrVersion, int(h.Version))
 	}
 	if bad := h.Flags &^ knownFlags; bad != 0 {
-		return fmt.Errorf("%w: %#02x", ErrFlags, uint8(bad))
+		return errBadFlags(bad)
 	}
 	if h.Kind < netsim.KindSYN || h.Kind > netsim.KindUDP {
-		return fmt.Errorf("%w: %d", ErrKind, uint8(h.Kind))
+		return errValue(ErrKind, int(h.Kind))
 	}
 	if int(h.PathLen) > MaxPathLen {
-		return fmt.Errorf("%w: %d > %d", ErrPathLen, h.PathLen, MaxPathLen)
+		return errRange(ErrPathLen, int(h.PathLen), MaxPathLen)
 	}
 	if h.Length == 0 {
-		return fmt.Errorf("%w: zero", ErrLength)
+		return errZeroLength()
 	}
 	if h.Flags&FlagCapability != 0 && (h.Cap.Slot < 0 || h.Cap.Slot > 255) {
-		return fmt.Errorf("%w: %d", ErrSlot, h.Cap.Slot)
+		return errValue(ErrSlot, h.Cap.Slot)
 	}
 	return nil
 }
@@ -147,6 +183,8 @@ func (h *Header) validate() error {
 // MarshalAppend appends the encoded header to dst and returns the
 // extended slice. It does not allocate when dst has spare capacity
 // (allocate once with make([]byte, 0, wire.MaxEncodedLen) and reuse).
+//
+// floc:hotpath
 func MarshalAppend(dst []byte, h *Header) ([]byte, error) {
 	if err := h.validate(); err != nil {
 		return dst, err
@@ -172,9 +210,11 @@ func MarshalAppend(dst []byte, h *Header) ([]byte, error) {
 // leaves h in an unspecified state; it never panics and never retains
 // buf. Trailing bytes after the header are the caller's concern (a UDP
 // datagram should contain exactly one header; a capture stream many).
+//
+// floc:hotpath
 func Decode(buf []byte, h *Header) (int, error) {
 	if len(buf) < headerFixedLen {
-		return 0, fmt.Errorf("%w: %d < %d", ErrShort, len(buf), headerFixedLen)
+		return 0, errShort(len(buf), headerFixedLen)
 	}
 	*h = Header{
 		Version: buf[0],
@@ -192,7 +232,7 @@ func Decode(buf []byte, h *Header) (int, error) {
 	n := headerFixedLen
 	need := h.EncodedLen()
 	if len(buf) < need {
-		return 0, fmt.Errorf("%w: %d < %d", ErrShort, len(buf), need)
+		return 0, errShort(len(buf), need)
 	}
 	for i := 0; i < int(h.PathLen); i++ {
 		h.Path[i] = pathid.ASN(binary.BigEndian.Uint32(buf[n : n+4]))
@@ -210,27 +250,31 @@ func Decode(buf []byte, h *Header) (int, error) {
 // validateShallow is validate minus the capability-slot check, which
 // cannot fail on decode (one byte is always in range) and whose field is
 // not yet populated when Decode calls this.
+//
+// floc:hotpath
 func validateShallow(h *Header) error {
 	if h.Version != Version1 {
-		return fmt.Errorf("%w: %d", ErrVersion, h.Version)
+		return errValue(ErrVersion, int(h.Version))
 	}
 	if bad := h.Flags &^ knownFlags; bad != 0 {
-		return fmt.Errorf("%w: %#02x", ErrFlags, uint8(bad))
+		return errBadFlags(bad)
 	}
 	if h.Kind < netsim.KindSYN || h.Kind > netsim.KindUDP {
-		return fmt.Errorf("%w: %d", ErrKind, uint8(h.Kind))
+		return errValue(ErrKind, int(h.Kind))
 	}
 	if int(h.PathLen) > MaxPathLen {
-		return fmt.Errorf("%w: %d > %d", ErrPathLen, h.PathLen, MaxPathLen)
+		return errRange(ErrPathLen, int(h.PathLen), MaxPathLen)
 	}
 	if h.Length == 0 {
-		return fmt.Errorf("%w: zero", ErrLength)
+		return errZeroLength()
 	}
 	return nil
 }
 
 // PathSlice returns the valid prefix of the path array. The slice aliases
 // the header; copy it (or use PathID) to outlive h.
+//
+// floc:hotpath
 func (h *Header) PathSlice() []pathid.ASN { return h.Path[:h.PathLen] }
 
 // PathID returns a freshly allocated path identifier.
@@ -241,12 +285,14 @@ func (h *Header) PathID() pathid.PathID {
 // FromPacket fills h from a simulator packet (the capture/daemon egress
 // direction). The capability trailer is omitted: capabilities are issued
 // by the measuring router, not carried by the simulator's packets.
+//
+// floc:hotpath
 func FromPacket(h *Header, pkt *netsim.Packet) error {
 	if len(pkt.Path) > MaxPathLen {
-		return fmt.Errorf("%w: %d > %d", ErrPathLen, len(pkt.Path), MaxPathLen)
+		return errRange(ErrPathLen, len(pkt.Path), MaxPathLen)
 	}
 	if pkt.Size <= 0 || pkt.Size > 0xffff {
-		return fmt.Errorf("%w: %d", ErrLength, pkt.Size)
+		return errValue(ErrLength, pkt.Size)
 	}
 	*h = Header{
 		Version: Version1,
@@ -270,6 +316,8 @@ func FromPacket(h *Header, pkt *netsim.Packet) error {
 // packet ID and the canonical path identifier and key (via an Interner,
 // so hot decode paths share one PathID per distinct path instead of
 // allocating per packet).
+//
+// floc:hotpath
 func (h *Header) ToPacket(pkt *netsim.Packet, id uint64, path pathid.PathID, key string) {
 	*pkt = netsim.Packet{
 		ID:       id,
@@ -307,7 +355,11 @@ func NewInterner() *Interner {
 	return &Interner{m: make(map[string]internEntry), buf: make([]byte, 0, 4*MaxPathLen)}
 }
 
-// Resolve returns the canonical PathID and key for h's path.
+// Resolve returns the canonical PathID and key for h's path. Hits are
+// allocation-free (the map probe with a string([]byte) key does not
+// materialize the string); misses take the cold intern path.
+//
+// floc:hotpath
 func (in *Interner) Resolve(h *Header) (pathid.PathID, string) {
 	in.buf = in.buf[:0]
 	for i := 0; i < int(h.PathLen); i++ {
@@ -316,12 +368,21 @@ func (in *Interner) Resolve(h *Header) (pathid.PathID, string) {
 	if e, ok := in.m[string(in.buf)]; ok {
 		return e.id, e.key
 	}
+	e := in.intern(h)
+	return e.id, e.key
+}
+
+// intern is Resolve's miss path: the first sighting of a path allocates
+// its canonical PathID and key and (up to internerMax) remembers them.
+//
+// floc:coldpath first sighting of a path allocates its canonical entry
+func (in *Interner) intern(h *Header) internEntry {
 	id := h.PathID()
 	e := internEntry{id: id, key: id.Key()}
 	if len(in.m) < internerMax {
 		in.m[string(in.buf)] = e
 	}
-	return e.id, e.key
+	return e
 }
 
 // Len returns the number of interned paths, for tests and introspection.

@@ -1,0 +1,66 @@
+#!/bin/sh
+# bench-snapshot.sh — run the canonical performance benchmarks and emit a
+# machine-readable snapshot, seeding the ROADMAP's perf trajectory
+# (BENCH_0.json, BENCH_1.json, ... as the hot-path campaign progresses).
+#
+# Families captured:
+#   router_enqueue     BenchmarkFLocRouterEnqueue        ns/op (admission path)
+#   dataplane_sharded  BenchmarkDataplaneEnqueueSharded  ns/op and Mpps at
+#                      1/2/4/8 shards (whole-pipeline enqueue-to-admission)
+#   dropfilter_update  BenchmarkFilterUpdate             ns/op (RecordDrop)
+#   wire_decode        BenchmarkWireDecode               ns/op (codec)
+#
+# Usage: scripts/bench-snapshot.sh [output.json]   (default BENCH_0.json)
+#
+# Environment:
+#   BENCHTIME=1s    per-benchmark budget (go test -benchtime).
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_0.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+
+bench() { # bench <pkg> <regexp>
+    echo ">> go test -run='^$' -bench='$2' -benchtime=$BENCHTIME $1" >&2
+    go test -run='^$' -bench="$2" -benchtime="$BENCHTIME" "$1" |
+        tee /dev/stderr | grep '^Benchmark'
+}
+
+router=$(bench . '^BenchmarkFLocRouterEnqueue$')
+sharded=$(bench ./internal/dataplane '^BenchmarkDataplaneEnqueueSharded$')
+filter=$(bench ./internal/dropfilter '^BenchmarkFilterUpdate$')
+wire=$(bench ./internal/wire '^BenchmarkWireDecode$')
+
+# ns_per_op <benchmark output line(s)> — first line's ns/op column.
+ns_per_op() { printf '%s\n' "$1" | awk 'NR == 1 { print $3; exit }'; }
+
+{
+    printf '{\n'
+    printf '  "schema": "floc-bench-snapshot/v1",\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "goos": "%s",\n' "$(go env GOOS)"
+    printf '  "goarch": "%s",\n' "$(go env GOARCH)"
+    printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+    printf '  "benchtime": "%s",\n' "$BENCHTIME"
+    printf '  "benchmarks": {\n'
+    printf '    "router_enqueue": {"bench": "BenchmarkFLocRouterEnqueue", "ns_per_op": %s},\n' \
+        "$(ns_per_op "$router")"
+    printf '    "dataplane_sharded": [\n'
+    printf '%s\n' "$sharded" | awk '
+        /shards=/ {
+            match($1, /shards=[0-9]+/)
+            shards = substr($1, RSTART + 7, RLENGTH - 7)
+            lines[++n] = sprintf("      {\"shards\": %s, \"ns_per_op\": %s, \"mpps\": %.3f}", shards, $3, 1000 / $3)
+        }
+        END { for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], i < n ? "," : "" }'
+    printf '    ],\n'
+    printf '    "dropfilter_update": {"bench": "BenchmarkFilterUpdate", "ns_per_op": %s},\n' \
+        "$(ns_per_op "$filter")"
+    printf '    "wire_decode": {"bench": "BenchmarkWireDecode", "ns_per_op": %s}\n' \
+        "$(ns_per_op "$wire")"
+    printf '  }\n'
+    printf '}\n'
+} > "$out"
+
+echo "bench-snapshot: wrote $out" >&2

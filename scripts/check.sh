@@ -9,7 +9,11 @@
 #                (cmd/floclint)
 #   fixtures     floclint -fixtures: every fixture WANT marker must be
 #                reported and every finding must have a marker, so the
-#                seeded-violation corpus cannot drift from the rules
+#                seeded-violation corpus cannot drift from the rules;
+#                per-rule finding counts resurface in the final summary
+#   alloc-gate   testing.AllocsPerRun gates asserting 0 allocs/op on the
+#                //floc:hotpath functions reachable without I/O (wire
+#                codec, dropfilter ops, router admission, dataplane ring)
 #   tests        go test ./...
 #   invariants   go test -tags flocinvariants ./... (hot-path assertions on)
 #   race         go test -race -short ./... (-short skips the multi-second
@@ -81,7 +85,19 @@ run go run ./cmd/floclint ./...
 end
 
 begin fixtures
-run go run ./cmd/floclint -fixtures cmd/floclint/testdata/src
+echo ">> go run ./cmd/floclint -fixtures cmd/floclint/testdata/src" >&2
+fixtures_out=$(go run ./cmd/floclint -fixtures cmd/floclint/testdata/src)
+echo "$fixtures_out" >&2
+# The per-rule counts line resurfaces in the stage timing summary so a
+# rule whose fixture coverage collapses to zero is visible at a glance.
+rule_counts=$(printf '%s\n' "$fixtures_out" | grep '^per-rule fixture findings:' || true)
+end
+
+begin alloc-gate
+# Dynamic half of the //floc:hotpath contract: testing.AllocsPerRun must
+# agree with the static rule that the annotated paths are allocation-free.
+run go test -count=1 -run '^TestZeroAlloc' \
+    ./internal/wire ./internal/dropfilter ./internal/core ./internal/dataplane
 end
 
 begin tests
@@ -143,7 +159,9 @@ bench_out=$(go test -run='^$' -bench='^BenchmarkDataplaneEnqueueSharded$' \
     -benchtime=200000x ./internal/dataplane)
 echo "$bench_out" | grep '^Benchmark' >&2
 DATAPLANE_SPEEDUP="${DATAPLANE_SPEEDUP:-2.5}"
-ncpu=$(go env GOMAXPROCS 2>/dev/null || echo 1)
+# go env GOMAXPROCS prints empty on toolchains that don't surface it;
+# fall back through the portable cpu-count sources.
+ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 if [ "$DATAPLANE_SPEEDUP" != "0" ] && [ "$ncpu" -ge 4 ]; then
     echo "$bench_out" | awk -v want="$DATAPLANE_SPEEDUP" '
         /shards=1/ { one = $3 }
@@ -158,7 +176,7 @@ if [ "$DATAPLANE_SPEEDUP" != "0" ] && [ "$ncpu" -ge 4 ]; then
         exit 1
     }
 else
-    echo "   speedup gate skipped (GOMAXPROCS=$ncpu < 4 or DATAPLANE_SPEEDUP=0)" >&2
+    echo "   speedup gate skipped (cpus=$ncpu < 4 or DATAPLANE_SPEEDUP=0)" >&2
 fi
 end
 
@@ -176,3 +194,6 @@ fi
 
 echo "check.sh: all gates passed; stage timings:" >&2
 printf '%s' "$timings" >&2
+if [ -n "${rule_counts:-}" ]; then
+    echo "$rule_counts" >&2
+fi
