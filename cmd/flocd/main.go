@@ -114,14 +114,14 @@ func run(listen, replay string, gen int, out string, seed uint64, shards int,
 			return err
 		}
 		defer f.Close()
-		n, end, err := replayCapture(f, engine)
+		n, malformed, end, err := replayCapture(f, engine, reg)
 		if err != nil {
 			return err
 		}
 		engine.Advance(end)
 		finish(engine, reg, snapshot, printMet)
-		fmt.Fprintf(os.Stderr, "flocd: replayed %d packets over %.3fs of capture time on %d shards\n",
-			n, end, engine.Shards())
+		fmt.Fprintf(os.Stderr, "flocd: replayed %d packets over %.3fs of capture time on %d shards (%d malformed lines skipped)\n",
+			n, end, engine.Shards(), malformed)
 		return nil
 	}
 
@@ -170,20 +170,23 @@ func metricsMux(reg *telemetry.Registry) *http.ServeMux {
 
 // replayCapture streams a capture into the engine, assigning packet IDs
 // in capture order and interning path identifiers so per-packet decode
-// stays allocation-light. Returns the packet count and the last capture
-// timestamp.
+// stays allocation-light. Malformed capture lines are counted and
+// skipped, not fatal: one bad line should not void a long replay. The
+// count is returned for the run summary and published per error kind as
+// floc_capture_malformed_lines_total.
 // floc:unit end seconds
-func replayCapture(r io.Reader, e *dataplane.Engine) (n int, end float64, err error) {
+func replayCapture(r io.Reader, e *dataplane.Engine, reg *telemetry.Registry) (n int, malformed int64, end float64, err error) {
 	cr := wire.NewCaptureReader(bufio.NewReader(r))
+	cr.SkipMalformed(true)
 	in := wire.NewInterner()
 	var h wire.Header
 	for {
 		t, err := cr.Next(&h)
 		if err == io.EOF {
-			return n, end, nil
+			break
 		}
 		if err != nil {
-			return n, end, err
+			return n, cr.Malformed(), end, err
 		}
 		id, key := in.Resolve(&h)
 		pkt := &netsim.Packet{}
@@ -192,6 +195,25 @@ func replayCapture(r io.Reader, e *dataplane.Engine) (n int, end float64, err er
 		n++
 		end = t
 	}
+	publishMalformed(reg, cr.MalformedByKind())
+	return n, cr.Malformed(), end, nil
+}
+
+// publishMalformed registers the malformed-line counter family: the
+// total always (so a clean replay exports an explicit zero), plus one
+// reason-labeled series per error kind that fired.
+func publishMalformed(reg *telemetry.Registry, byKind [wire.NumErrorKinds]int64) {
+	const help = "capture lines skipped as malformed during replay"
+	var total int64
+	for kind, c := range byKind {
+		if c == 0 {
+			continue
+		}
+		total += c
+		reg.Counter(`floc_capture_malformed_lines_total{reason="`+wire.ErrorKind(kind).String()+`"}`,
+			help, "lines").Add(c)
+	}
+	reg.Counter("floc_capture_malformed_lines_total", help, "lines").Add(total)
 }
 
 // serveUDP reads one wire header per datagram until the connection is
@@ -199,7 +221,7 @@ func replayCapture(r io.Reader, e *dataplane.Engine) (n int, end float64, err er
 // the daemon is the one place the repo meets real time, so the sim-time
 // ban is lifted locally.
 func serveUDP(conn net.PacketConn, e *dataplane.Engine) error {
-	buf := make([]byte, 65536)
+	buf := make([]byte, 65536) //floc:untrusted
 	in := wire.NewInterner()
 	var h wire.Header
 	//floclint:allow sim-time live dataplane stamps arrivals from the wall clock
@@ -214,6 +236,7 @@ func serveUDP(conn net.PacketConn, e *dataplane.Engine) error {
 			// Closed socket is the clean shutdown path.
 			return nil
 		}
+		//floclint:allow taint ReadFrom returns n <= len(buf) by the PacketConn contract; the payload itself is vetted by Decode
 		if _, err := wire.Decode(buf[:n], &h); err != nil {
 			continue // malformed datagrams are not the daemon's problem
 		}

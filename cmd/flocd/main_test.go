@@ -35,12 +35,18 @@ func TestGenerateReplayEndToEnd(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	e := newTestEngine(t, reg, 4)
 	defer e.Close()
-	n, end, err := replayCapture(bytes.NewReader(capture.Bytes()), e)
+	n, malformed, end, err := replayCapture(bytes.NewReader(capture.Bytes()), e, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != packets {
 		t.Fatalf("replayed %d packets, want %d", n, packets)
+	}
+	if malformed != 0 {
+		t.Fatalf("clean capture reported %d malformed lines", malformed)
+	}
+	if got := reg.CounterValue("floc_capture_malformed_lines_total"); got != 0 {
+		t.Fatalf("malformed counter = %d on a clean capture", got)
 	}
 	if end <= 0 {
 		t.Fatalf("capture end time %v", end)
@@ -98,6 +104,55 @@ func ratio(v [2]int64) float64 {
 		return 0
 	}
 	return float64(v[0]) / float64(v[0]+v[1])
+}
+
+// TestReplayCountsMalformedLines checks the lenient replay path: bad
+// capture lines are skipped, counted in the summary return, and
+// published on the malformed-lines counter family — the good records
+// around them still replay.
+func TestReplayCountsMalformedLines(t *testing.T) {
+	var capture bytes.Buffer
+	const packets = 100
+	if err := generateCapture(&capture, packets, 7); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(capture.String(), "\n"), "\n")
+	// Splice breakage between valid records: broken JSON, odd hex, and a
+	// decodable-looking frame with an unsupported version byte.
+	mangled := []string{
+		lines[0],
+		`{"t":0.001,"wire":`,       // truncated JSON
+		`{"t":0.001,"wire":"abc"}`, // odd hex length
+		// A full-size 14-byte header with version 0xff: rejected by the
+		// codec proper, not the framing.
+		`{"t":0.001,"wire":"ff` + strings.Repeat("00", 13) + `"}`,
+	}
+	mangled = append(mangled, lines[1:]...)
+	input := strings.Join(mangled, "\n") + "\n"
+
+	reg := telemetry.NewRegistry()
+	e := newTestEngine(t, reg, 2)
+	defer e.Close()
+	n, malformed, end, err := replayCapture(strings.NewReader(input), e, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != packets {
+		t.Fatalf("replayed %d packets, want %d despite malformed lines", n, packets)
+	}
+	if malformed != 3 {
+		t.Fatalf("malformed = %d, want 3", malformed)
+	}
+	e.Advance(end + 1)
+	if got := reg.CounterValue("floc_capture_malformed_lines_total"); got != 3 {
+		t.Fatalf("total malformed counter = %d, want 3", got)
+	}
+	if got := reg.CounterValue(`floc_capture_malformed_lines_total{reason="framing"}`); got != 2 {
+		t.Fatalf("framing malformed counter = %d, want 2", got)
+	}
+	if got := reg.CounterValue(`floc_capture_malformed_lines_total{reason="version"}`); got != 1 {
+		t.Fatalf("version malformed counter = %d, want 1", got)
+	}
 }
 
 func TestGenerateCaptureDeterministic(t *testing.T) {

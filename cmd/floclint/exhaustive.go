@@ -1,0 +1,266 @@
+package main
+
+// The exhaustive rule: closed-enum switch coverage.
+//
+// The repo's dispatch enums — netsim.PacketKind, core drop reasons and
+// router modes, wire error kinds, dataplane command kinds — are closed
+// sets the paper's semantics depend on, and each grows when a protocol
+// surface grows (the planned in-band pushback frames add packet kinds,
+// a congestion-feedback frame adds wire error shapes). A type marked
+// with a //floc:enum directive declares the set closed; every switch
+// over it must then name every member, so adding a member breaks the
+// build at every dispatch site instead of silently falling through a
+// default.
+//
+// Members are the package-level constants of the marked type, collected
+// syntactically per module (iota blocks inherit the type of the previous
+// spec, mirroring Go's const-repetition rule). A count sentinel like
+// numDropReasons is excluded with //floc:enumbound on its line.
+//
+// A default clause does NOT satisfy the rule: defaults are for the
+// out-of-range values a cast can produce, not for members. A switch
+// that deliberately handles a subset carries
+// //floc:nonexhaustive <reason> on (or directly above) the switch line;
+// the reason is mandatory, as with //floc:coldpath.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustiveness directives.
+const (
+	enumDirective          = "floc:enum"
+	enumBoundDirective     = "floc:enumbound"
+	nonexhaustiveDirective = "floc:nonexhaustive"
+)
+
+// enumTable carries the module-wide enum declarations: which named types
+// are marked closed, and the constant members of every candidate type
+// (collected unconditionally so marks and const blocks may live in
+// different files).
+type enumTable struct {
+	marked  map[string]bool     // "pkgpath.Type" -> //floc:enum seen
+	members map[string][]string // "pkgpath.Type" -> const names in decl order
+}
+
+func newEnumTable() *enumTable {
+	return &enumTable{marked: map[string]bool{}, members: map[string][]string{}}
+}
+
+// membersOf returns the member names of a marked enum, nil when the type
+// is not a marked enum (or has no collected constants).
+func (t *enumTable) membersOf(key string) []string {
+	if !t.marked[key] {
+		return nil
+	}
+	return t.members[key]
+}
+
+// hasBareDirective reports whether a comment line carries the directive
+// with no requirement on trailing text (the directive must start the
+// line, as with every floc: directive).
+func hasBareDirective(text, dir string) bool {
+	return taintDirectiveFields(text, dir) != nil
+}
+
+// collectEnumDecls scans one parsed file for //floc:enum type marks and
+// typed constant declarations, filling tbl. Purely syntactic.
+func collectEnumDecls(pkgPath string, f *ast.File, tbl *enumTable) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		switch gd.Tok {
+		case token.TYPE:
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				groups := []*ast.CommentGroup{ts.Doc, ts.Comment}
+				if len(gd.Specs) == 1 {
+					groups = append(groups, gd.Doc)
+				}
+				for _, group := range groups {
+					if group == nil {
+						continue
+					}
+					for _, c := range group.List {
+						if hasBareDirective(c.Text, enumDirective) {
+							tbl.marked[pkgPath+"."+ts.Name.Name] = true
+						}
+					}
+				}
+			}
+		case token.CONST:
+			collectEnumConsts(pkgPath, gd, tbl)
+		}
+	}
+}
+
+// collectEnumConsts walks one const block tracking the implied type of
+// each spec: an explicit type sets it, a spec with neither type nor
+// values repeats the previous spec (Go's const-repetition rule, the iota
+// idiom), and a spec with values but no type is untyped and clears it.
+func collectEnumConsts(pkgPath string, gd *ast.GenDecl, tbl *enumTable) {
+	curType := ""
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		switch {
+		case vs.Type != nil:
+			if id, ok := vs.Type.(*ast.Ident); ok {
+				curType = id.Name
+			} else {
+				curType = "" // qualified or composite type: not a local enum
+			}
+		case len(vs.Values) > 0:
+			curType = "" // untyped constant expression
+		}
+		if curType == "" {
+			continue
+		}
+		if enumBoundMarked(vs) {
+			continue // count sentinel: one past the last member
+		}
+		key := pkgPath + "." + curType
+		for _, name := range vs.Names {
+			if name.Name == "_" {
+				continue
+			}
+			tbl.members[key] = append(tbl.members[key], name.Name)
+		}
+	}
+}
+
+// enumBoundMarked reports whether the spec's doc or trailing comment
+// carries //floc:enumbound.
+func enumBoundMarked(vs *ast.ValueSpec) bool {
+	for _, group := range []*ast.CommentGroup{vs.Doc, vs.Comment} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			if hasBareDirective(c.Text, enumBoundDirective) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectWaivers maps source lines carrying //floc:nonexhaustive to the
+// waiver's reason text, reporting directives with no reason (a waiver
+// must say why the subset is the contract).
+func (l *linter) collectWaivers(f *ast.File) map[int]string {
+	out := map[int]string{}
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			fields := taintDirectiveFields(c.Text, nonexhaustiveDirective)
+			if fields == nil {
+				continue
+			}
+			line := l.fset.Position(c.Pos()).Line
+			reason := strings.Join(fields, " ")
+			if reason == "" {
+				l.report(c.Pos(), RuleExhaustive,
+					"//floc:nonexhaustive needs a reason (why is handling a subset of the enum the contract here?)")
+			}
+			out[line] = reason
+		}
+	}
+	return out
+}
+
+// checkExhaustive runs the exhaustive rule over one file: every switch
+// whose tag is a marked enum type must cover every member or carry a
+// reasoned waiver.
+func (l *linter) checkExhaustive(f *ast.File) {
+	waivers := l.collectWaivers(f)
+	ast.Inspect(f, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		t := l.info.Types[sw.Tag].Type
+		key := namedKeyOf(t)
+		if key == "" {
+			return true
+		}
+		members := l.enums.membersOf(key)
+		if len(members) == 0 {
+			return true
+		}
+		line := l.fset.Position(sw.Switch).Line
+		for _, wl := range []int{line, line - 1} {
+			if reason, ok := waivers[wl]; ok && reason != "" {
+				return true // reasoned waiver
+			}
+		}
+		covered := l.coveredConsts(sw)
+		var missing []string
+		for _, m := range members {
+			if !covered[m] {
+				missing = append(missing, m)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			l.report(sw.Switch, RuleExhaustive,
+				"switch over %s does not cover %s; add the cases or waive with //floc:nonexhaustive <reason>",
+				key, strings.Join(missing, ", "))
+		}
+		return true
+	})
+}
+
+// coveredConsts collects the constant names the switch's cases resolve
+// to. Non-constant case expressions cover nothing.
+func (l *linter) coveredConsts(sw *ast.SwitchStmt) map[string]bool {
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			var id *ast.Ident
+			switch e := unparen(e).(type) {
+			case *ast.Ident:
+				id = e
+			case *ast.SelectorExpr:
+				id = e.Sel
+			default:
+				continue
+			}
+			if cst, ok := l.info.Uses[id].(*types.Const); ok {
+				covered[cst.Name()] = true
+			}
+		}
+	}
+	return covered
+}
+
+// namedKeyOf returns "pkgpath.Name" for a named (possibly aliased) type,
+// "" otherwise.
+func namedKeyOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

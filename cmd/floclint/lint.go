@@ -17,13 +17,15 @@ type Diagnostic struct {
 
 // Rule names, as reported and as accepted by //floclint:allow.
 const (
-	RuleSimTime  = "sim-time"
-	RuleFloatEq  = "float-eq"
-	RuleMapOrder = "map-order"
-	RuleEqGuard  = "eq-guard"
-	RuleUnits    = "units"
-	RuleAtomics  = "atomics"
-	RuleHotpath  = "hotpath"
+	RuleSimTime    = "sim-time"
+	RuleFloatEq    = "float-eq"
+	RuleMapOrder   = "map-order"
+	RuleEqGuard    = "eq-guard"
+	RuleUnits      = "units"
+	RuleAtomics    = "atomics"
+	RuleHotpath    = "hotpath"
+	RuleTaint      = "taint"
+	RuleExhaustive = "exhaustive"
 )
 
 // bannedTimeFuncs are the time-package functions that read the wall clock
@@ -53,22 +55,31 @@ type linter struct {
 	pkgPath string
 	tbl     *unitTable                  // module-wide //floc:unit annotations
 	hot     *hotTable                   // module-wide //floc:hotpath///floc:coldpath annotations
+	taint   *taintTable                 // module-wide //floc:untrusted/sanitizes/sink annotations
+	enums   *enumTable                  // module-wide //floc:enum declarations
 	allows  map[string]map[int][]string // filename -> line -> rules suppressed there
 	diags   []Diagnostic
 }
 
-// lintPackage runs every rule over one package's files. tbl and hot carry
-// the //floc:unit and //floc:hotpath annotations of every package in the
-// module (the units and hotpath rules need the directives of
+// lintPackage runs every rule over one package's files. The tables carry
+// the //floc:unit, //floc:hotpath, taint, and enum annotations of every
+// package in the module (the cross-package rules need the directives of
 // dependencies, which export data does not carry).
-func lintPackage(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath string, tbl *unitTable, hot *hotTable) []Diagnostic {
+func lintPackage(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath string, tbl *unitTable, hot *hotTable, taint *taintTable, enums *enumTable) []Diagnostic {
 	if tbl == nil {
 		tbl = newUnitTable()
 	}
 	if hot == nil {
 		hot = newHotTable()
 	}
+	if taint == nil {
+		taint = newTaintTable()
+	}
+	if enums == nil {
+		enums = newEnumTable()
+	}
 	l := &linter{fset: fset, info: info, pkgPath: pkgPath, tbl: tbl, hot: hot,
+		taint: taint, enums: enums,
 		allows: map[string]map[int][]string{}}
 	// Allow maps are collected for every file up front: the atomics rule
 	// reports across file boundaries (a plain access in one file of a
@@ -79,6 +90,8 @@ func lintPackage(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPa
 	for _, f := range files {
 		l.checkImports(f)
 		l.checkUnits(f)
+		l.checkTaint(f)
+		l.checkExhaustive(f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
@@ -122,7 +135,7 @@ func collectAllows(fset *token.FileSet, f *ast.File) map[int][]string {
 			}) {
 				switch field {
 				case RuleSimTime, RuleFloatEq, RuleMapOrder, RuleEqGuard, RuleUnits,
-					RuleAtomics, RuleHotpath:
+					RuleAtomics, RuleHotpath, RuleTaint, RuleExhaustive:
 					allow[line] = append(allow[line], field)
 				default:
 					// First non-rule token starts the justification text.

@@ -35,7 +35,7 @@ func lintFixture(t *testing.T, dir string) map[finding]int {
 // TestSeededViolations checks that every seeded violation is reported at
 // its exact position, and nothing else is.
 func TestSeededViolations(t *testing.T) {
-	for _, fixture := range []string{"timeviol", "floateq", "maporder", "eqguard", "units", "atomics", "hotpath"} {
+	for _, fixture := range []string{"timeviol", "floateq", "maporder", "eqguard", "units", "atomics", "hotpath", "taint", "exhaustive"} {
 		t.Run(fixture, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", fixture)
 			want := wantMarkers(t, dir)
@@ -56,7 +56,7 @@ func TestSeededViolations(t *testing.T) {
 // TestCleanFixture checks the negative case: files exercising near-miss
 // patterns of every rule yield zero findings.
 func TestCleanFixture(t *testing.T) {
-	for _, fixture := range []string{"clean", "unitsclean", "atomicsclean", "hotpathclean"} {
+	for _, fixture := range []string{"clean", "unitsclean", "atomicsclean", "hotpathclean", "taintclean", "exhaustiveclean"} {
 		t.Run(fixture, func(t *testing.T) {
 			got := lintFixture(t, filepath.Join("testdata", "src", fixture))
 			if len(got) != 0 {
@@ -77,7 +77,7 @@ func TestVerifyCorpus(t *testing.T) {
 	for _, m := range mismatches {
 		t.Errorf("corpus mismatch: %s", m)
 	}
-	for _, rule := range []string{RuleSimTime, RuleFloatEq, RuleMapOrder, RuleEqGuard, RuleUnits, RuleAtomics, RuleHotpath} {
+	for _, rule := range []string{RuleSimTime, RuleFloatEq, RuleMapOrder, RuleEqGuard, RuleUnits, RuleAtomics, RuleHotpath, RuleTaint, RuleExhaustive} {
 		if counts[rule] == 0 {
 			t.Errorf("corpus exercises no %s findings", rule)
 		}

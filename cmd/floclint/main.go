@@ -32,6 +32,15 @@
 //	             escaping closures, make/new, un-preallocated append),
 //	             and every module callee must be annotated //floc:hotpath
 //	             or //floc:coldpath <reason>; see DESIGN.md.
+//	taint      — values derived from //floc:untrusted sources (wire
+//	             bytes, capture lines, UDP payloads) must pass through a
+//	             //floc:sanitizes function before reaching an
+//	             array/slice index, slice bound, make size, loop bound,
+//	             map key, or //floc:sink parameter; see DESIGN.md.
+//	exhaustive — switches over //floc:enum types must cover every member
+//	             (count sentinels excluded via //floc:enumbound) or
+//	             carry //floc:nonexhaustive <reason>; a default clause
+//	             does not satisfy the rule.
 //
 // A finding can be suppressed, with justification, by a trailing or
 // preceding comment: //floclint:allow <rule> [reason].
@@ -42,7 +51,12 @@
 //
 // Usage:
 //
-//	go run ./cmd/floclint ./...
+//	go run ./cmd/floclint [-json] ./...
+//
+// -json switches the findings stream to machine-readable NDJSON (one
+// {"file","line","col","rule","msg"} object per finding), for CI
+// annotation tooling; the human file:line:col text form stays the
+// default and is what the GitHub Actions problem matcher parses.
 //
 // Exit status is 0 when clean, 1 when findings were reported, 2 on errors.
 package main
@@ -67,9 +81,11 @@ import (
 func main() {
 	fixtures := flag.String("fixtures", "",
 		"verify the fixture corpus under this directory: lint each fixture package and compare findings against its // WANT markers")
+	jsonOut := flag.Bool("json", false,
+		"emit findings as NDJSON ({\"file\",\"line\",\"col\",\"rule\",\"msg\"} per line) instead of text")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: floclint [-fixtures dir] [packages]\n\nFLoc repo-specific static analysis; see package doc for rules.\n")
+			"usage: floclint [-json] [-fixtures dir] [packages]\n\nFLoc repo-specific static analysis; see package doc for rules.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -96,8 +112,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "floclint:", err)
 			os.Exit(2)
 		}
-		for _, d := range diags {
-			fmt.Printf("%s: %s: %s\n", d.Pos, d.Rule, d.Msg)
+		if *jsonOut {
+			if err := writeJSONFindings(os.Stdout, diags); err != nil {
+				fmt.Fprintln(os.Stderr, "floclint:", err)
+				os.Exit(2)
+			}
+		} else {
+			for _, d := range diags {
+				fmt.Printf("%s: %s: %s\n", d.Pos, d.Rule, d.Msg)
+			}
 		}
 		failed = failed || len(diags) > 0
 	}
@@ -181,11 +204,11 @@ func runLint(patterns []string) ([]Diagnostic, error) {
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
-	// The units and hotpath rules need //floc:unit and //floc:hotpath
+	// The units, hotpath, taint, and exhaustive rules need their //floc:
 	// directives from every module package in the closure, linted or not:
 	// export data carries no comments, so dependency annotations are
 	// collected by a syntax-only parse here.
-	tbl, hot, err := collectDirectiveTables(pkgs)
+	tbl, hot, taint, enums, err := collectDirectiveTables(pkgs)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +217,7 @@ func runLint(patterns []string) ([]Diagnostic, error) {
 	imp := exportImporter(fset, exports)
 	var all []Diagnostic
 	for _, p := range targets {
-		diags, err := lintOne(fset, imp, p, tbl, hot)
+		diags, err := lintOne(fset, imp, p, tbl, hot, taint, enums)
 		if err != nil {
 			return nil, err
 		}
@@ -217,11 +240,14 @@ func runLint(patterns []string) ([]Diagnostic, error) {
 }
 
 // collectDirectiveTables syntax-parses every non-standard package in the
-// load closure and gathers its //floc:unit and //floc:hotpath directives
-// in one pass.
-func collectDirectiveTables(pkgs []*listPkg) (*unitTable, *hotTable, error) {
+// load closure and gathers its //floc:unit, //floc:hotpath, taint
+// (//floc:untrusted, //floc:sanitizes, //floc:sink), and //floc:enum
+// directives in one pass.
+func collectDirectiveTables(pkgs []*listPkg) (*unitTable, *hotTable, *taintTable, *enumTable, error) {
 	tbl := newUnitTable()
 	hot := newHotTable()
+	taint := newTaintTable()
+	enums := newEnumTable()
 	cfset := token.NewFileSet()
 	for _, p := range pkgs {
 		if p.Standard {
@@ -231,19 +257,21 @@ func collectDirectiveTables(pkgs []*listPkg) (*unitTable, *hotTable, error) {
 		for _, name := range p.GoFiles {
 			f, err := parser.ParseFile(cfset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, nil, err
 			}
 			collectUnitDecls(p.ImportPath, f, tbl)
 			collectHotDecls(p.ImportPath, f, hot)
+			collectTaintDecls(p.ImportPath, f, taint)
+			collectEnumDecls(p.ImportPath, f, enums)
 		}
 	}
-	return tbl, hot, nil
+	return tbl, hot, taint, enums, nil
 }
 
 // lintOne parses and type-checks one package and runs the rules over it.
 // Only non-test Go files are linted: tests are free to use wall-clock
 // time, and the determinism contract covers simulation code only.
-func lintOne(fset *token.FileSet, imp types.Importer, p *listPkg, tbl *unitTable, hot *hotTable) ([]Diagnostic, error) {
+func lintOne(fset *token.FileSet, imp types.Importer, p *listPkg, tbl *unitTable, hot *hotTable, taint *taintTable, enums *enumTable) ([]Diagnostic, error) {
 	files := make([]*ast.File, 0, len(p.GoFiles))
 	for _, name := range p.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
@@ -262,5 +290,33 @@ func lintOne(fset *token.FileSet, imp types.Importer, p *listPkg, tbl *unitTable
 	if _, err := conf.Check(p.ImportPath, fset, files, info); err != nil {
 		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
 	}
-	return lintPackage(fset, files, info, p.ImportPath, tbl, hot), nil
+	return lintPackage(fset, files, info, p.ImportPath, tbl, hot, taint, enums), nil
+}
+
+// jsonFinding is the NDJSON shape of one -json finding, matching the
+// problem-matcher fields CI consumes.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// writeJSONFindings emits one JSON object per finding, one per line.
+func writeJSONFindings(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		f := jsonFinding{
+			File: d.Pos.Filename,
+			Line: d.Pos.Line,
+			Col:  d.Pos.Column,
+			Rule: d.Rule,
+			Msg:  d.Msg,
+		}
+		if err := enc.Encode(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,897 @@
+package main
+
+// The taint rule: provenance tracking for attacker-controlled wire input.
+//
+// Every enforcement decision FLoc makes is driven by fields an attacker
+// chooses on the wire — path identifiers, packet kinds, capability slots,
+// declared lengths — and Optimal Filtering's core observation is that
+// state sized or indexed by attacker-observable fields is itself an
+// attack vector. The rule makes "validate before you trust" a statically
+// checked contract: a value derived from a //floc:untrusted source must
+// pass through a //floc:sanitizes function before it flows into
+//
+//   - an array/slice index or slice bound,
+//   - a make size/capacity argument,
+//   - a loop bound (the condition of a for statement),
+//   - a map key (unbounded attacker-keyed state growth), or
+//   - a parameter annotated //floc:sink <name> <what> (e.g. the
+//     dataplane's shard-hash input).
+//
+// Taint propagates forward in statement order through assignments,
+// arithmetic, field selects, conversions, and intra-module call/return
+// boundaries, using the same module-wide syntactic directive table as the
+// units and hotpath rules. Calls to functions outside the directive
+// system (stdlib, dynamic) propagate conservatively: if any argument is
+// tainted, the results are tainted and pointer-shaped arguments are
+// treated as tainted out-parameters (this is how json.Unmarshal spreads a
+// capture line's taint into the decoded record).
+//
+// Granularity is per-object: assigning a tainted value to a variable (or
+// through a pointer) taints the whole variable; reads of any field or
+// element of a tainted value are tainted. Storing into a single field or
+// element of an already-clean aggregate does not re-taint it — that is
+// the validate-then-fill idiom wire.Decode uses (header fields are
+// range-checked before the path walk is trusted). A sanitizer call
+// clears the taint of its argument roots and receiver and returns clean
+// results; the rule does not verify that the sanitizer's error result is
+// checked (that contract stays with the sanitizer's own tests, as with
+// eq-guard).
+//
+// The rule is deliberately shallow where the type system already bounds
+// the blast radius: ranging over a tainted slice yields tainted values
+// but a clean index (the iteration is bounded by the real length), and
+// len/cap of a tainted value is tainted (a declared length is exactly
+// the field an attacker lies about).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Taint directives.
+const (
+	untrustedDirective = "floc:untrusted"
+	sanitizesDirective = "floc:sanitizes"
+	sinkDirective      = "floc:sink"
+)
+
+// taintFunc is one function's taint contract.
+type taintFunc struct {
+	// untrusted holds parameter names, named-result names, and "return"
+	// (the first result) that carry attacker-controlled data.
+	untrusted map[string]bool
+	// sanitizes marks the function as a validation boundary.
+	sanitizes bool
+	// sinks maps parameter names to a short description of the sink the
+	// parameter feeds (e.g. "shard-hash input").
+	sinks map[string]string
+}
+
+// taintTable carries the module-wide taint directives, collected
+// syntactically alongside the units and hotpath tables.
+type taintTable struct {
+	funcs  map[string]*taintFunc // "pkgpath.[Recv.]Func"
+	fields map[string]bool       // "pkgpath.Type.Field" -> untrusted
+}
+
+func newTaintTable() *taintTable {
+	return &taintTable{funcs: map[string]*taintFunc{}, fields: map[string]bool{}}
+}
+
+// taintDirectiveFields returns the tokens following directive dir on a
+// comment line, nil when the line does not carry it. The directive must
+// start the comment line, exactly as with floc:unit; an inline "//"
+// starts a trailing comment and ends the directive's arguments.
+func taintDirectiveFields(text, dir string) []string {
+	t := strings.TrimSpace(strings.TrimLeft(text, "/"))
+	if !strings.HasPrefix(t, dir) {
+		return nil
+	}
+	rest := t[len(dir):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil // e.g. "floc:untrustedx"
+	}
+	fields := strings.Fields(rest)
+	for i, f := range fields {
+		if strings.HasPrefix(f, "//") {
+			fields = fields[:i]
+			break
+		}
+	}
+	if fields == nil {
+		return []string{}
+	}
+	return fields
+}
+
+// collectTaintDecls scans one parsed file for taint directives, filling
+// tbl. Purely syntactic, like collectUnitDecls.
+func collectTaintDecls(pkgPath string, f *ast.File, tbl *taintTable) {
+	for _, decl := range f.Decls {
+		switch decl := decl.(type) {
+		case *ast.FuncDecl:
+			collectFuncTaint(pkgPath, decl, tbl)
+		case *ast.GenDecl:
+			for _, spec := range decl.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				collectFieldTaint(pkgPath, ts.Name.Name, st, tbl)
+			}
+		}
+	}
+}
+
+// collectFuncTaint reads "floc:untrusted <name>...", "floc:sanitizes",
+// and "floc:sink <name> <what>" lines from a function's doc comment.
+func collectFuncTaint(pkgPath string, fn *ast.FuncDecl, tbl *taintTable) {
+	if fn.Doc == nil {
+		return
+	}
+	var tf *taintFunc
+	ensure := func() *taintFunc {
+		if tf == nil {
+			tf = &taintFunc{untrusted: map[string]bool{}, sinks: map[string]string{}}
+		}
+		return tf
+	}
+	for _, c := range fn.Doc.List {
+		if fields := taintDirectiveFields(c.Text, untrustedDirective); fields != nil {
+			for _, name := range fields {
+				ensure().untrusted[name] = true
+			}
+		}
+		if fields := taintDirectiveFields(c.Text, sanitizesDirective); fields != nil {
+			ensure().sanitizes = true
+		}
+		if fields := taintDirectiveFields(c.Text, sinkDirective); len(fields) >= 2 {
+			ensure().sinks[fields[0]] = strings.Join(fields[1:], " ")
+		}
+	}
+	if tf != nil {
+		tbl.funcs[funcKeyFor(pkgPath, recvTypeName(fn.Recv), fn.Name.Name)] = tf
+	}
+}
+
+// collectFieldTaint reads bare "//floc:untrusted" trailing or doc
+// comments on struct fields.
+func collectFieldTaint(pkgPath, typeName string, st *ast.StructType, tbl *taintTable) {
+	for _, field := range st.Fields.List {
+		marked := false
+		for _, group := range []*ast.CommentGroup{field.Comment, field.Doc} {
+			if group == nil {
+				continue
+			}
+			for _, c := range group.List {
+				if taintDirectiveFields(c.Text, untrustedDirective) != nil {
+					marked = true
+				}
+			}
+		}
+		if !marked {
+			continue
+		}
+		for _, name := range field.Names {
+			tbl.fields[pkgPath+"."+typeName+"."+name.Name] = true
+		}
+	}
+}
+
+// collectTaintLines maps source lines carrying a bare trailing
+// "//floc:untrusted" directive (the local-variable form) to true.
+func collectTaintLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			if fields := taintDirectiveFields(c.Text, untrustedDirective); fields != nil && len(fields) == 0 {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkTaintDirectives reports malformed floc:sink directives: the form
+// is "floc:sink <param> <what...>" and a sink without a description (or
+// a name) cannot be reported usefully at call sites.
+func (l *linter) checkTaintDirectives(f *ast.File) {
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			fields := taintDirectiveFields(c.Text, sinkDirective)
+			if fields != nil && len(fields) < 2 {
+				l.report(c.Pos(), RuleTaint,
+					"malformed floc:sink directive %q; want \"floc:sink <param> <what>\"",
+					strings.TrimSpace(c.Text))
+			}
+		}
+	}
+}
+
+// taintVal is the abstract taint state of an expression: whether it is
+// derived from an untrusted source, and which source (for diagnostics).
+type taintVal struct {
+	on  bool
+	src string
+}
+
+var cleanVal = taintVal{}
+
+func taintFrom(src string) taintVal { return taintVal{on: true, src: src} }
+
+// join merges two taint states, keeping the first source seen.
+func (a taintVal) join(b taintVal) taintVal {
+	if a.on {
+		return a
+	}
+	return b
+}
+
+// taintChecker propagates taint through one function body in statement
+// order, in the style of unitsChecker.
+type taintChecker struct {
+	l          *linter
+	tbl        *taintTable
+	taintLines map[int]bool
+	env        map[types.Object]taintVal
+	// cleaned marks objects a //floc:sanitizes call validated: field
+	// selects on a cleaned object no longer consult the //floc:untrusted
+	// field table (the h.validate() idiom).
+	cleaned map[types.Object]bool
+}
+
+// checkTaint runs the taint rule over one file's function bodies.
+func (l *linter) checkTaint(f *ast.File) {
+	l.checkTaintDirectives(f)
+	taintLines := collectTaintLines(l.fset, f)
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		c := &taintChecker{
+			l:          l,
+			tbl:        l.taint,
+			taintLines: taintLines,
+			env:        map[types.Object]taintVal{},
+			cleaned:    map[types.Object]bool{},
+		}
+		key := funcKeyFor(l.pkgPath, recvTypeName(fn.Recv), fn.Name.Name)
+		c.seedSignature(fn, l.taint.funcs[key])
+		c.stmt(fn.Body)
+	}
+}
+
+// seedSignature taints the parameters the function's own directives
+// declare untrusted. Sink parameters stay clean: inside the sink's body
+// the flow is the function's sanctioned business.
+func (c *taintChecker) seedSignature(fn *ast.FuncDecl, tf *taintFunc) {
+	if tf == nil || len(tf.untrusted) == 0 {
+		return
+	}
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if !tf.untrusted[name.Name] {
+					continue
+				}
+				if obj := c.l.info.Defs[name]; obj != nil {
+					c.env[obj] = taintFrom("parameter " + name.Name)
+				}
+			}
+		}
+	}
+	seed(fn.Type.Params)
+	seed(fn.Recv)
+}
+
+// ---- statements ----
+
+func (c *taintChecker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			c.stmt(sub)
+		}
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.DeclStmt:
+		c.declStmt(s)
+	case *ast.IfStmt:
+		c.stmt(s.Init)
+		c.expr(s.Cond)
+		c.stmt(s.Body)
+		c.stmt(s.Else)
+	case *ast.ForStmt:
+		c.stmt(s.Init)
+		if s.Cond != nil {
+			if v := c.expr(s.Cond); v.on {
+				c.l.report(s.Cond.Pos(), RuleTaint,
+					"loop bound derived from untrusted input (%s); validate it through a //floc:sanitizes function first", v.src)
+			}
+		}
+		c.stmt(s.Post)
+		c.stmt(s.Body)
+	case *ast.RangeStmt:
+		c.rangeStmt(s)
+	case *ast.SwitchStmt:
+		c.stmt(s.Init)
+		if s.Tag != nil {
+			c.expr(s.Tag)
+		}
+		c.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init)
+		c.stmt(s.Assign)
+		c.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			c.expr(e)
+		}
+		for _, sub := range s.Body {
+			c.stmt(sub)
+		}
+	case *ast.SelectStmt:
+		c.stmt(s.Body)
+	case *ast.CommClause:
+		c.stmt(s.Comm)
+		for _, sub := range s.Body {
+			c.stmt(sub)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e)
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X)
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+	case *ast.GoStmt:
+		c.expr(s.Call)
+	case *ast.DeferStmt:
+		c.expr(s.Call)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	}
+}
+
+// declStmt handles `var x = v` declarations, honoring a trailing
+// //floc:untrusted directive on the spec's line.
+func (c *taintChecker) declStmt(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		lineTaint := c.taintLines[c.l.fset.Position(vs.Pos()).Line]
+		var vals []taintVal
+		for _, v := range vs.Values {
+			vals = append(vals, c.expr(v))
+		}
+		for i, name := range vs.Names {
+			obj := c.l.info.Defs[name]
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			v := cleanVal
+			if i < len(vals) {
+				v = vals[i]
+			}
+			if lineTaint {
+				v = taintFrom(name.Name)
+			}
+			c.env[obj] = v
+		}
+	}
+}
+
+// assign handles = / := / op= statements.
+func (c *taintChecker) assign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+	default:
+		// Op-assigns mix the operand into the target: x += tainted
+		// taints x.
+		lv := c.expr(s.Lhs[0])
+		rv := c.expr(s.Rhs[0])
+		if id, ok := unparen(s.Lhs[0]).(*ast.Ident); ok {
+			if obj := c.objOf(id); obj != nil {
+				c.env[obj] = lv.join(rv)
+			}
+		}
+		return
+	}
+	var vals []taintVal
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		vals = c.tupleVals(s.Rhs[0], len(s.Lhs))
+	} else {
+		for _, r := range s.Rhs {
+			vals = append(vals, c.expr(r))
+		}
+	}
+	lineTaint := c.taintLines[c.l.fset.Position(s.Pos()).Line]
+	for i, lhs := range s.Lhs {
+		v := cleanVal
+		if i < len(vals) {
+			v = vals[i]
+		}
+		c.assignOne(lhs, v, lineTaint)
+	}
+}
+
+// assignOne records one assignment target's new taint. Whole-value
+// targets (identifiers, pointer dereferences) take the source's taint;
+// stores into a field or element of an aggregate do not re-taint the
+// aggregate (the validate-then-fill idiom), though their index
+// expressions are still checked as sinks by the expr walk.
+func (c *taintChecker) assignOne(lhs ast.Expr, v taintVal, lineTaint bool) {
+	switch lhs := unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := c.objOf(lhs)
+		if obj == nil {
+			return
+		}
+		if lineTaint {
+			v = taintFrom(lhs.Name)
+		}
+		c.env[obj] = v
+	case *ast.StarExpr:
+		if obj := c.rootObj(lhs.X); obj != nil {
+			if lineTaint {
+				v = taintFrom(obj.Name())
+			}
+			c.env[obj] = v
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		c.expr(lhs) // sink checks on the index path; no re-taint
+	}
+}
+
+// tupleVals evaluates a multi-value rhs (call, comma-ok) into n values.
+func (c *taintChecker) tupleVals(rhs ast.Expr, n int) []taintVal {
+	vals := make([]taintVal, n)
+	if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+		c.callInto(call, vals)
+		return vals
+	}
+	v := c.expr(rhs) // comma-ok idioms: value then bool
+	vals[0] = v
+	if len(vals) > 1 {
+		vals[1] = cleanVal
+	}
+	return vals
+}
+
+// rangeStmt seeds the loop variables from the ranged container: values
+// of a tainted container are tainted; slice indices are clean (bounded
+// by the container's real length), map keys of a tainted map are
+// tainted (the attacker chose them).
+func (c *taintChecker) rangeStmt(s *ast.RangeStmt) {
+	cv := c.expr(s.X)
+	keyVal, valVal := cleanVal, cv
+	if t := c.l.info.Types[s.X].Type; t != nil {
+		switch t.Underlying().(type) {
+		case *types.Map:
+			keyVal, valVal = cv, cv
+		case *types.Chan:
+			keyVal, valVal = cv, cleanVal
+		case *types.Basic: // integer or string range
+			keyVal, valVal = cleanVal, cleanVal
+		}
+	}
+	c.rangeVar(s.Key, keyVal)
+	c.rangeVar(s.Value, valVal)
+	c.stmt(s.Body)
+}
+
+func (c *taintChecker) rangeVar(e ast.Expr, v taintVal) {
+	if e == nil {
+		return
+	}
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if obj := c.objOf(id); obj != nil {
+		c.env[obj] = v
+	}
+}
+
+// ---- expressions ----
+
+// expr evaluates an expression's taint, reporting sink violations in its
+// subexpressions along the way.
+func (c *taintChecker) expr(e ast.Expr) taintVal {
+	switch e := e.(type) {
+	case nil:
+		return cleanVal
+	case *ast.BasicLit:
+		return cleanVal
+	case *ast.Ident:
+		if v, ok := c.env[c.objOf(e)]; ok {
+			return v
+		}
+		return cleanVal
+	case *ast.ParenExpr:
+		return c.expr(e.X)
+	case *ast.UnaryExpr:
+		return c.expr(e.X)
+	case *ast.StarExpr:
+		return c.expr(e.X)
+	case *ast.BinaryExpr:
+		lv := c.expr(e.X)
+		rv := c.expr(e.Y)
+		return lv.join(rv)
+	case *ast.CallExpr:
+		vals := make([]taintVal, 1)
+		c.callInto(e, vals)
+		return vals[0]
+	case *ast.SelectorExpr:
+		return c.selector(e)
+	case *ast.IndexExpr:
+		return c.index(e)
+	case *ast.IndexListExpr:
+		for _, idx := range e.Indices {
+			c.expr(idx)
+		}
+		return c.expr(e.X)
+	case *ast.SliceExpr:
+		for _, bound := range []ast.Expr{e.Low, e.High, e.Max} {
+			if bound == nil {
+				continue
+			}
+			if v := c.expr(bound); v.on {
+				c.l.report(bound.Pos(), RuleTaint,
+					"slice bound derived from untrusted input (%s); validate it through a //floc:sanitizes function first", v.src)
+			}
+		}
+		return c.expr(e.X)
+	case *ast.TypeAssertExpr:
+		return c.expr(e.X)
+	case *ast.CompositeLit:
+		v := cleanVal
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			v = v.join(c.expr(el))
+		}
+		return v
+	case *ast.FuncLit:
+		// Closures share the enclosing environment: captures carry their
+		// taint in, and sink uses inside the literal are checked inline.
+		c.stmt(e.Body)
+		return cleanVal
+	case *ast.KeyValueExpr:
+		return c.expr(e.Value)
+	default:
+		return cleanVal
+	}
+}
+
+func (c *taintChecker) objOf(id *ast.Ident) types.Object {
+	if obj := c.l.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.l.info.Uses[id]
+}
+
+// rootObj unwraps an addressable chain (&x, *x, x.f, x[i], x[:]) to the
+// variable at its root, nil when there is none.
+func (c *taintChecker) rootObj(e ast.Expr) types.Object {
+	for {
+		switch t := unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := c.objOf(t).(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.UnaryExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			if _, ok := c.l.info.Selections[t]; !ok {
+				return nil // package-qualified
+			}
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// selector evaluates x.f: tainted when the base value is tainted or the
+// field carries a //floc:untrusted directive.
+func (c *taintChecker) selector(e *ast.SelectorExpr) taintVal {
+	sel, ok := c.l.info.Selections[e]
+	if !ok {
+		return cleanVal // package-qualified identifier
+	}
+	base := c.expr(e.X)
+	if sel.Kind() != types.FieldVal {
+		return base // method value: receiver taint rides along
+	}
+	if base.on {
+		return base
+	}
+	if key, ok := c.fieldKeyOfSelection(sel); ok && c.tbl.fields[key] {
+		if obj := c.rootObj(e.X); obj != nil && c.cleaned[obj] {
+			return cleanVal // validated by a //floc:sanitizes call
+		}
+		return taintFrom("field " + e.Sel.Name)
+	}
+	return cleanVal
+}
+
+// fieldKeyOfSelection resolves a field selection to its table key,
+// walking the selection's index path so embedded structs resolve to the
+// field's direct owner (same walk as the units rule).
+func (c *taintChecker) fieldKeyOfSelection(s *types.Selection) (string, bool) {
+	t := s.Recv()
+	idx := s.Index()
+	for k, i := range idx {
+		st := underlyingStruct(t)
+		if st == nil || i >= st.NumFields() {
+			return "", false
+		}
+		fld := st.Field(i)
+		if k == len(idx)-1 {
+			owner := namedName(t)
+			if owner == "" || fld.Pkg() == nil {
+				return "", false
+			}
+			return fld.Pkg().Path() + "." + owner + "." + fld.Name(), true
+		}
+		t = fld.Type()
+	}
+	return "", false
+}
+
+// index evaluates x[i], reporting tainted indexes and map keys.
+func (c *taintChecker) index(e *ast.IndexExpr) taintVal {
+	iv := c.expr(e.Index)
+	bv := c.expr(e.X)
+	if iv.on {
+		if t := c.l.info.Types[e.X].Type; t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				c.l.report(e.Index.Pos(), RuleTaint,
+					"map key derived from untrusted input (%s): attacker-chosen keys grow filter state without bound; validate through a //floc:sanitizes function first", iv.src)
+			} else {
+				c.l.report(e.Index.Pos(), RuleTaint,
+					"index derived from untrusted input (%s); validate it through a //floc:sanitizes function first", iv.src)
+			}
+		}
+	}
+	return bv // element of a tainted container is tainted
+}
+
+// ---- calls ----
+
+// callInto evaluates a call, filling vals with the per-result taint.
+func (c *taintChecker) callInto(e *ast.CallExpr, vals []taintVal) {
+	for i := range vals {
+		vals[i] = cleanVal
+	}
+	// Conversion: T(x) preserves x's taint.
+	if tv, ok := c.l.info.Types[e.Fun]; ok && tv.IsType() {
+		if len(e.Args) == 1 {
+			vals[0] = c.expr(e.Args[0])
+		}
+		return
+	}
+	// Builtins.
+	if id, ok := unparen(e.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := c.l.info.Uses[id].(*types.Builtin); isBuiltin {
+			c.builtin(id.Name, e, vals)
+			return
+		}
+	}
+
+	// Receiver taint (method calls) counts as an argument.
+	recvTaint := cleanVal
+	if sel, ok := unparen(e.Fun).(*ast.SelectorExpr); ok {
+		if _, isSel := c.l.info.Selections[sel]; isSel {
+			recvTaint = c.expr(sel.X)
+		}
+	}
+	argTaint := make([]taintVal, len(e.Args))
+	anyTaint := recvTaint
+	for i, a := range e.Args {
+		argTaint[i] = c.expr(a)
+		anyTaint = anyTaint.join(argTaint[i])
+	}
+
+	fn := c.calleeFuncTaint(e.Fun)
+	var tf *taintFunc
+	if fn != nil {
+		tf = c.tbl.funcs[c.taintKeyOf(fn)]
+	}
+
+	if tf != nil {
+		c.checkSinkArgs(e, fn, tf, argTaint)
+		if tf.sanitizes {
+			// The sanitizer validated what it was given: clear the
+			// argument roots and receiver, return clean results.
+			for _, a := range e.Args {
+				if obj := c.rootObj(a); obj != nil {
+					c.env[obj] = cleanVal
+					c.cleaned[obj] = true
+				}
+			}
+			if sel, ok := unparen(e.Fun).(*ast.SelectorExpr); ok {
+				if obj := c.rootObj(sel.X); obj != nil {
+					c.env[obj] = cleanVal
+					c.cleaned[obj] = true
+				}
+			}
+			return
+		}
+		if len(tf.untrusted) > 0 {
+			c.untrustedResults(fn, tf, vals)
+			return
+		}
+	}
+
+	// Unannotated or dynamic callee: conservative pass-through. Tainted
+	// input means tainted results, and pointer-shaped arguments are
+	// treated as out-parameters the callee may have filled from the
+	// tainted input (json.Unmarshal, hex.Decode).
+	if !anyTaint.on {
+		return
+	}
+	for i := range vals {
+		vals[i] = anyTaint
+	}
+	for i, a := range e.Args {
+		if argTaint[i].on {
+			continue // already a source, not an out-parameter
+		}
+		if !pointerish(c.l.info.Types[a].Type) {
+			continue
+		}
+		if obj := c.rootObj(a); obj != nil {
+			c.env[obj] = anyTaint
+		}
+	}
+}
+
+// builtin handles builtin calls: make sizes are sinks, len/cap of a
+// tainted value is tainted (a declared length is attacker-controlled),
+// append propagates.
+func (c *taintChecker) builtin(name string, e *ast.CallExpr, vals []taintVal) {
+	switch name {
+	case "make":
+		for _, a := range e.Args[1:] {
+			if v := c.expr(a); v.on {
+				c.l.report(a.Pos(), RuleTaint,
+					"make size derived from untrusted input (%s): attacker-sized allocation; validate it through a //floc:sanitizes function first", v.src)
+			}
+		}
+	case "len", "cap":
+		if len(e.Args) == 1 {
+			vals[0] = c.expr(e.Args[0])
+		}
+	case "append":
+		v := cleanVal
+		for _, a := range e.Args {
+			v = v.join(c.expr(a))
+		}
+		vals[0] = v
+	default:
+		for _, a := range e.Args {
+			c.expr(a)
+		}
+	}
+}
+
+// checkSinkArgs reports tainted values passed to //floc:sink parameters.
+func (c *taintChecker) checkSinkArgs(e *ast.CallExpr, fn *types.Func, tf *taintFunc, argTaint []taintVal) {
+	if len(tf.sinks) == 0 {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := range e.Args {
+		if !argTaint[i].on {
+			continue
+		}
+		name := paramName(sig, i)
+		what, isSink := tf.sinks[name]
+		if !isSink {
+			continue
+		}
+		c.l.report(e.Args[i].Pos(), RuleTaint,
+			"untrusted value (%s) flows into %s parameter %q of %s; validate it through a //floc:sanitizes function first",
+			argTaint[i].src, what, name, fn.Name())
+	}
+}
+
+// untrustedResults taints the call's results the callee's directives
+// declare untrusted ("return" for the first, or named-result names).
+func (c *taintChecker) untrustedResults(fn *types.Func, tf *taintFunc, vals []taintVal) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len() && i < len(vals); i++ {
+		name := res.At(i).Name()
+		if (name != "" && tf.untrusted[name]) || (i == 0 && tf.untrusted["return"]) {
+			vals[i] = taintFrom(fn.Name() + " result")
+		}
+	}
+}
+
+// calleeFuncTaint resolves the called function object without
+// re-evaluating the receiver (callInto already did).
+func (c *taintChecker) calleeFuncTaint(fun ast.Expr) *types.Func {
+	switch fun := unparen(fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.l.info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.l.info.Uses[fun.Sel].(*types.Func)
+		return fn
+	default:
+		return nil
+	}
+}
+
+// taintKeyOf builds the annotation-table key for a resolved function.
+func (c *taintChecker) taintKeyOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	recvName := ""
+	if recv := sig.Recv(); recv != nil {
+		recvName = namedName(recv.Type())
+		if recvName == "" {
+			return ""
+		}
+	}
+	return funcKeyFor(fn.Pkg().Path(), recvName, fn.Name())
+}
+
+// pointerish reports whether a value of type t aliases storage the
+// callee can write through: pointers, slices, and maps.
+func pointerish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}

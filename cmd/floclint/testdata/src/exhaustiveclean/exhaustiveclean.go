@@ -1,0 +1,82 @@
+// Package exhaustiveclean exercises the exhaustive rule's clean paths:
+// full coverage with multi-expression cases, the count-sentinel
+// exclusion, a same-line waiver with a reason, switches over unmarked
+// types, and tagless switches. The linter must report nothing here.
+package exhaustiveclean
+
+// State is a closed enum with an iota block and a count sentinel.
+//
+// floc:enum
+type State uint8
+
+// State members.
+const (
+	StateIdle State = iota
+	StateOpen
+	StateDraining
+	StateClosed
+	numStates //floc:enumbound
+)
+
+// next covers every member, two per case.
+func next(s State) State {
+	switch s {
+	case StateIdle, StateOpen:
+		return StateDraining
+	case StateDraining, StateClosed:
+		return StateClosed
+	}
+	return StateIdle
+}
+
+// name covers every member and keeps a default for cast garbage.
+func name(s State) string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateOpen:
+		return "open"
+	case StateDraining:
+		return "draining"
+	case StateClosed:
+		return "closed"
+	default:
+		return "?"
+	}
+}
+
+// isLive waives on the switch line itself: the subset is the contract.
+func isLive(s State) bool {
+	switch s { //floc:nonexhaustive only the two live states matter here
+	case StateOpen, StateDraining:
+		return true
+	}
+	return false
+}
+
+// loose is unmarked; partial coverage over it is fine.
+type loose int
+
+const (
+	looseA loose = iota
+	looseB
+	looseC
+)
+
+func overLoose(l loose) bool {
+	switch l {
+	case looseA:
+		return true
+	}
+	return false
+}
+
+// tagless switches are plain if-chains and out of scope.
+func tagless(s State) int {
+	switch {
+	case s == StateIdle:
+		return 0
+	default:
+		return 1
+	}
+}

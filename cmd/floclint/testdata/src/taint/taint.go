@@ -1,0 +1,151 @@
+// Package taint seeds violations of the taint rule: every sink class
+// (index, slice bound, make size, loop bound, map key, annotated sink
+// parameter), every propagation edge (assignment, arithmetic, field
+// select, conversion, call/return, conservative external out-params,
+// len of a tainted value), the local //floc:untrusted form, a malformed
+// sink directive, and the allow escape hatch.
+package taint
+
+// pickSlot indexes a table with a wire-chosen slot.
+//
+// floc:untrusted slot
+func pickSlot(table []int, slot int) int {
+	return table[slot] // WANT taint
+}
+
+// cut reslices a buffer by a declared length.
+//
+// floc:untrusted n
+func cut(b []byte, n int) []byte {
+	return b[:n] // WANT taint
+}
+
+// alloc sizes an allocation from the wire.
+//
+// floc:untrusted n
+func alloc(n int) []byte {
+	return make([]byte, n) // WANT taint
+}
+
+// walk loops up to a wire-declared count.
+//
+// floc:untrusted n
+func walk(n int) int {
+	t := 0
+	for i := 0; i < n; i++ { // WANT taint
+		t += i
+	}
+	return t
+}
+
+// track keys a map with an attacker-chosen identifier.
+//
+// floc:untrusted id
+func track(m map[string]int, id string) int {
+	return m[id] // WANT taint
+}
+
+// derive shows taint riding through := and arithmetic.
+//
+// floc:untrusted n
+func derive(b []byte, n int) byte {
+	off := n*2 + 1
+	return b[off] // WANT taint
+}
+
+// header shows that len of a tainted buffer is tainted: a declared
+// length is exactly the field an attacker lies about.
+//
+// floc:untrusted payload
+func header(table []byte, payload []byte) byte {
+	return table[len(payload)] // WANT taint
+}
+
+// Frame is a decoded wire frame; Slot comes straight off the wire.
+type Frame struct {
+	Slot int //floc:untrusted
+	Data []byte
+}
+
+// useFrame indexes with an untrusted field of an otherwise clean value.
+func useFrame(table []int, f Frame) int {
+	return table[f.Slot] // WANT taint
+}
+
+// readSlot models a decoder whose result is attacker-controlled.
+//
+// floc:untrusted return
+func readSlot() int { return 7 }
+
+// useRead shows taint crossing an intra-module call/return boundary.
+func useRead(table []int) int {
+	return table[readSlot()] // WANT taint
+}
+
+// record is the unmarshal target for the out-param case.
+type record struct{ N int }
+
+// fill is unannotated: the conservative rule treats its pointer-shaped
+// argument as an out-parameter filled from the tainted input, the way
+// json.Unmarshal spreads a capture line into its record.
+func fill(dst *record, src []byte) {
+	if len(src) > 0 {
+		dst.N = int(src[0])
+	}
+}
+
+// parse sizes an allocation from a field an external decoder filled.
+//
+// floc:untrusted line
+func parse(line []byte) []int {
+	var rec record
+	fill(&rec, line)
+	return make([]int, rec.N) // WANT taint
+}
+
+// shardOf hashes a path to a shard index.
+//
+// floc:sink path shard-hash
+func shardOf(path string, n int) int {
+	h := 0
+	for i := 0; i < len(path); i++ {
+		h = h*31 + int(path[i])
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h % n
+}
+
+// route feeds a raw wire path into the shard hash.
+//
+// floc:untrusted p
+func route(p string, n int) int {
+	return shardOf(p, n) // WANT taint
+}
+
+// badSink declares a sink without saying what it feeds.
+//
+// floc:sink path // WANT taint
+func badSink(path string) {}
+
+// readEnvInt models any clean local read.
+func readEnvInt() int { return 3 }
+
+// fromEnv marks a local untrusted at its declaration site.
+func fromEnv(table []int) int {
+	slot := readEnvInt() //floc:untrusted
+	return table[slot]   // WANT taint
+}
+
+// bounded range-checks inline and suppresses with justification: the
+// allow directive exists for flows the checker cannot see are safe.
+//
+// floc:untrusted n
+func bounded(b []byte, n int) byte {
+	if n < 0 || n >= len(b) {
+		return 0
+	}
+	//floclint:allow taint n is range-checked against len(b) above
+	return b[n]
+}

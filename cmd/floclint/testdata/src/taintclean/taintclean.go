@@ -1,0 +1,98 @@
+// Package taintclean exercises the taint rule's clean paths: sanitizer
+// calls clearing arguments, receivers, and field directives; the
+// validate-then-fill decode idiom; range indices over tainted buffers;
+// and constant indexing into tainted containers. The linter must report
+// nothing here.
+package taintclean
+
+// Header mirrors the wire header idiom: the declared path length is
+// attacker-controlled until validate range-checks it.
+type Header struct {
+	PathLen int //floc:untrusted
+}
+
+// validate range-checks the header's declared fields.
+//
+// floc:sanitizes
+func (h *Header) validate(max int) bool {
+	return h.PathLen >= 0 && h.PathLen <= max
+}
+
+// useHeader indexes with the field only after the sanitizer ran.
+func useHeader(h Header, table []int) int {
+	if !h.validate(len(table) - 1) {
+		return 0
+	}
+	return table[h.PathLen]
+}
+
+// checkLen validates a declared length against the buffer size.
+//
+// floc:sanitizes
+func checkLen(n, max int) bool { return n >= 0 && n < max }
+
+// decode parses a frame the way wire.Decode does: the declared count is
+// tainted until checkLen blesses it, then bounds the element walk; the
+// member store into the clean output does not re-taint it
+// (validate-then-fill).
+//
+// floc:untrusted b
+func decode(b []byte, out *record) bool {
+	if len(b) < 2 {
+		return false
+	}
+	n := int(b[0])
+	if !checkLen(n, len(b)) {
+		return false
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += int(b[1+i])
+	}
+	out.Sum = sum
+	return true
+}
+
+// record is decode's validated output.
+type record struct{ Sum int }
+
+// sum shows that ranging over a tainted buffer yields clean indices:
+// the iteration is bounded by the buffer's real length, not a declared
+// one.
+//
+// floc:untrusted b
+func sum(table []int, b []byte) int {
+	t := 0
+	for i, v := range b {
+		t += table[i] + int(v)
+	}
+	return t
+}
+
+// first indexes a tainted buffer with a constant: the index is the
+// trusted side, the container is not a sink.
+//
+// floc:untrusted b
+func first(b []byte) byte {
+	if len(b) == 0 {
+		return 0
+	}
+	return b[0]
+}
+
+// clampSlot is a value-returning sanitizer; its result is clean.
+//
+// floc:sanitizes
+func clampSlot(n, max int) int {
+	if n < 0 || n >= max {
+		return 0
+	}
+	return n
+}
+
+// useClamped routes a wire slot through the clamp before indexing.
+//
+// floc:untrusted slot
+func useClamped(table []int, slot int) int {
+	return table[clampSlot(slot, len(table))]
+}

@@ -15,7 +15,10 @@ import (
 	"floc/internal/tokenbucket"
 )
 
-// Mode is the router's queue operating mode (paper Section V-A).
+// Mode is the router's queue operating mode (paper Section V-A). The
+// set is closed: switches over it must be exhaustive.
+//
+//floc:enum
 type Mode uint8
 
 // Queue modes.
@@ -44,7 +47,12 @@ func (m Mode) String() string {
 	}
 }
 
-// DropReason classifies router drops, for instrumentation.
+// DropReason classifies router drops, for instrumentation. The set is
+// closed: switches over it must be exhaustive, and the label table in
+// report.go is sized by numDropReasons so a new reason cannot ship
+// without a label.
+//
+//floc:enum
 type DropReason uint8
 
 // Drop reasons.
@@ -59,7 +67,7 @@ const (
 	DropBlocked
 	// DropOverflow: physical buffer full.
 	DropOverflow
-	numDropReasons
+	numDropReasons //floc:enumbound
 )
 
 // flowKey is a flow's accounting identity: with NMax > 0 the id is the
@@ -404,6 +412,7 @@ func (r *Router) Enqueue(pkt *netsim.Packet, now float64) bool {
 		orig.flows[key] = fs
 	}
 	fs.lastSeen = now
+	//floc:nonexhaustive RTT sampling keys on SYN and first forward data; SYNACK/ACK travel the reverse path and never reach this router's measurement
 	switch pkt.Kind {
 	case netsim.KindSYN:
 		fs.synAt = now

@@ -147,6 +147,10 @@ type shard struct {
 	rateBytes float64 //floc:unit bytes/s
 }
 
+// cmdKind discriminates shard control commands; every kind a controller
+// can send must be handled, or the sender blocks forever on done.
+//
+//floc:enum
 type cmdKind uint8
 
 const (
@@ -231,7 +235,10 @@ func (e *Engine) ShardOf(path pathid.PathID) int {
 // sequence) onto [0, n). FNV is enough here: path identifiers are
 // assigned by topology, not chosen by the attacker per-packet — a flow
 // cannot re-shard itself by varying header bytes the router would reject.
+// That argument only holds for validated paths, so the parameter is a
+// declared taint sink: raw wire paths must pass a sanitizer first.
 // floc:hotpath
+// floc:sink path shard-hash
 func pathShard(path pathid.PathID, n int) int {
 	const (
 		offset64 = 14695981039346656037

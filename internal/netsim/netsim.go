@@ -21,7 +21,12 @@ import (
 	"floc/internal/rng"
 )
 
-// PacketKind discriminates the packet types the simulator carries.
+// PacketKind discriminates the packet types the simulator carries. The
+// set is closed: every switch over it must be exhaustive (or carry a
+// reasoned //floc:nonexhaustive waiver), so the planned pushback
+// control frames break every dispatch site when they add kinds.
+//
+//floc:enum
 type PacketKind uint8
 
 // Packet kinds.
@@ -53,6 +58,26 @@ func (k PacketKind) String() string {
 		return "UDP"
 	default:
 		return fmt.Sprintf("PacketKind(%d)", uint8(k))
+	}
+}
+
+// ParsePacketKind inverts String for the defined kinds, reporting
+// whether the name was one of them. Capture tooling round-trips kinds
+// through their names.
+func ParsePacketKind(s string) (PacketKind, bool) {
+	switch s {
+	case "SYN":
+		return KindSYN, true
+	case "SYNACK":
+		return KindSYNACK, true
+	case "DATA":
+		return KindData, true
+	case "ACK":
+		return KindACK, true
+	case "UDP":
+		return KindUDP, true
+	default:
+		return 0, false
 	}
 }
 

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"floc/internal/pathid"
@@ -476,5 +478,38 @@ func TestLinkStatsDeliveredBytesMatch(t *testing.T) {
 	net.Run(1)
 	if got := l.Stats().DeliveredBytes; got != int64(total) {
 		t.Fatalf("DeliveredBytes = %d, want %d", got, total)
+	}
+}
+
+// TestPacketKindRoundTrip checks that every defined kind survives the
+// String/ParsePacketKind round trip, and that values outside the closed
+// set are rejected rather than aliased onto a real kind.
+func TestPacketKindRoundTrip(t *testing.T) {
+	kinds := []PacketKind{KindSYN, KindSYNACK, KindData, KindACK, KindUDP}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if strings.HasPrefix(s, "PacketKind(") {
+			t.Errorf("kind %d has no name", uint8(k))
+			continue
+		}
+		if seen[s] {
+			t.Errorf("kind name %q not unique", s)
+		}
+		seen[s] = true
+		got, ok := ParsePacketKind(s)
+		if !ok || got != k {
+			t.Errorf("ParsePacketKind(%q) = %v, %v; want %v, true", s, got, ok, k)
+		}
+	}
+	for _, k := range []PacketKind{0, PacketKind(len(kinds) + 1), 99} {
+		if s := k.String(); s != fmt.Sprintf("PacketKind(%d)", uint8(k)) {
+			t.Errorf("out-of-range kind %d stringified as %q", uint8(k), s)
+		}
+	}
+	for _, s := range []string{"", "syn", "BOGUS", "PacketKind(1)"} {
+		if k, ok := ParsePacketKind(s); ok {
+			t.Errorf("ParsePacketKind(%q) accepted as %v", s, k)
+		}
 	}
 }

@@ -65,11 +65,15 @@ func (p PathID) String() string { return "S[" + p.Key() + "]" }
 // is the strict inverse of Key: it accepts exactly the strings Key
 // produces for non-empty paths (decimal AS numbers without leading
 // zeros, joined by '-'), so Parse(p.Key()) == p and parsed.Key() == s.
+//
+// floc:untrusted s
+// floc:sanitizes
 func Parse(s string) (PathID, error) {
 	if s == "" {
 		return nil, fmt.Errorf("pathid: empty path key")
 	}
 	parts := strings.Split(s, "-")
+	//floclint:allow taint split yields at most one part per input byte, so the allocation is bounded by len(s)
 	p := make(PathID, len(parts))
 	for i, part := range parts {
 		if part != "0" && strings.HasPrefix(part, "0") {

@@ -104,6 +104,10 @@ func (h *Histogram) Count() int64 { return h.n.Load() }
 // Sum returns the running sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// metricKind discriminates the exposition families; the text encoder
+// switches over it and must render every kind.
+//
+//floc:enum
 type metricKind uint8
 
 const (

@@ -63,11 +63,16 @@ func (cw *CaptureWriter) Flush() error { return cw.w.Flush() }
 // Records returns how many records were written.
 func (cw *CaptureWriter) Records() int { return cw.n }
 
-// CaptureReader streams records out of an NDJSON capture.
+// CaptureReader streams records out of an NDJSON capture. By default a
+// malformed line fails the read; SkipMalformed switches to lenient mode,
+// where bad lines are counted by error kind and skipped instead — what a
+// long replay wants when one hand-edited line should not void the run.
 type CaptureReader struct {
-	sc   *bufio.Scanner
-	line int
-	buf  []byte
+	sc        *bufio.Scanner
+	line      int
+	buf       []byte
+	lenient   bool
+	malformed [NumErrorKinds]int64
 }
 
 // NewCaptureReader returns a CaptureReader on r.
@@ -79,36 +84,81 @@ func NewCaptureReader(r io.Reader) *CaptureReader {
 	return &CaptureReader{sc: sc, buf: make([]byte, MaxEncodedLen)}
 }
 
+// SkipMalformed switches the reader between strict (default: any bad
+// line fails the read) and lenient (bad lines are counted and skipped).
+func (cr *CaptureReader) SkipMalformed(on bool) { cr.lenient = on }
+
+// Malformed returns the number of lines skipped in lenient mode.
+func (cr *CaptureReader) Malformed() int64 {
+	var n int64
+	for _, c := range cr.malformed {
+		n += c
+	}
+	return n
+}
+
+// MalformedByKind returns the per-ErrorKind counts of lines skipped in
+// lenient mode; framing breakage (bad JSON, bad hex, trailing bytes)
+// counts under ErrKindFraming.
+func (cr *CaptureReader) MalformedByKind() [NumErrorKinds]int64 { return cr.malformed }
+
+// decodeFrameHex hex-decodes one capture frame into dst, bounding the
+// declared frame by the destination before touching it. The hex text is
+// attacker-controlled; the returned count is not: hex.Decode writes at
+// most len(dst) bytes and rejects partial or invalid digits.
+//
+// floc:untrusted s
+// floc:sanitizes
+func decodeFrameHex(dst []byte, s string) (int, error) {
+	if len(s) > 2*len(dst) {
+		return 0, fmt.Errorf("frame longer than any header (%d hex chars)", len(s))
+	}
+	return hex.Decode(dst, []byte(s))
+}
+
+// decodeLine parses one nonempty capture line into h, classifying any
+// failure for the malformed counters.
+//
+// floc:untrusted raw
+func (cr *CaptureReader) decodeLine(raw []byte, h *Header) (float64, ErrorKind, error) {
+	var rec CaptureRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return 0, ErrKindFraming, fmt.Errorf("wire: capture line %d: %v", cr.line, err)
+	}
+	n, err := decodeFrameHex(cr.buf, rec.Wire)
+	if err != nil {
+		return 0, ErrKindFraming, fmt.Errorf("wire: capture line %d: %v", cr.line, err)
+	}
+	used, err := Decode(cr.buf[:n], h)
+	if err != nil {
+		return 0, KindOfError(err), fmt.Errorf("wire: capture line %d: %v", cr.line, err)
+	}
+	if used != n {
+		return 0, ErrKindFraming, fmt.Errorf("wire: capture line %d: %d trailing bytes after header", cr.line, n-used)
+	}
+	return rec.T, ErrKindNone, nil
+}
+
 // Next decodes the next record into h and returns its arrival time.
 // io.EOF signals a clean end of capture; any other error names the
-// offending line.
+// offending line (in lenient mode the line is counted and skipped
+// instead).
 // floc:unit t seconds
 func (cr *CaptureReader) Next(h *Header) (t float64, err error) {
 	for cr.sc.Scan() {
 		cr.line++
-		raw := cr.sc.Bytes()
+		raw := cr.sc.Bytes() //floc:untrusted
 		if len(raw) == 0 {
 			continue
 		}
-		var rec CaptureRecord
-		if err := json.Unmarshal(raw, &rec); err != nil {
-			return 0, fmt.Errorf("wire: capture line %d: %v", cr.line, err)
+		t, kind, err := cr.decodeLine(raw, h)
+		if err == nil {
+			return t, nil
 		}
-		if len(rec.Wire) > 2*MaxEncodedLen {
-			return 0, fmt.Errorf("wire: capture line %d: frame longer than any header (%d hex chars)", cr.line, len(rec.Wire))
+		if !cr.lenient {
+			return 0, err
 		}
-		n, err := hex.Decode(cr.buf[:cap(cr.buf)], []byte(rec.Wire))
-		if err != nil {
-			return 0, fmt.Errorf("wire: capture line %d: %v", cr.line, err)
-		}
-		used, err := Decode(cr.buf[:n], h)
-		if err != nil {
-			return 0, fmt.Errorf("wire: capture line %d: %v", cr.line, err)
-		}
-		if used != n {
-			return 0, fmt.Errorf("wire: capture line %d: %d trailing bytes after header", cr.line, n-used)
-		}
-		return rec.T, nil
+		cr.malformed[kind]++
 	}
 	if err := cr.sc.Err(); err != nil {
 		return 0, err

@@ -158,6 +158,7 @@ func (h *Header) EncodedLen() int {
 // (reject before writing) and Decode (reject foreign input).
 //
 // floc:hotpath
+// floc:sanitizes
 func (h *Header) validate() error {
 	if h.Version != Version1 {
 		return errValue(ErrVersion, int(h.Version))
@@ -211,7 +212,13 @@ func MarshalAppend(dst []byte, h *Header) ([]byte, error) {
 // buf. Trailing bytes after the header are the caller's concern (a UDP
 // datagram should contain exactly one header; a capture stream many).
 //
+// Decode is the module's validation boundary for wire bytes: buf is
+// attacker-controlled until validateShallow range-checks the decoded
+// fields, and a successful return hands the caller a vetted header.
+//
 // floc:hotpath
+// floc:untrusted buf
+// floc:sanitizes
 func Decode(buf []byte, h *Header) (int, error) {
 	if len(buf) < headerFixedLen {
 		return 0, errShort(len(buf), headerFixedLen)
@@ -252,6 +259,7 @@ func Decode(buf []byte, h *Header) (int, error) {
 // not yet populated when Decode calls this.
 //
 // floc:hotpath
+// floc:sanitizes
 func validateShallow(h *Header) error {
 	if h.Version != Version1 {
 		return errValue(ErrVersion, int(h.Version))

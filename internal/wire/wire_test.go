@@ -286,3 +286,109 @@ func hexString(b []byte) string {
 	}
 	return string(out)
 }
+
+// TestInternerAtBound churns the interner past internerMax distinct
+// paths: the table must stop growing at the bound while Resolve keeps
+// returning correct identifiers via the per-call fallback, and paths
+// interned before the bound stay canonical.
+func TestInternerAtBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fills a 1<<16-entry table")
+	}
+	in := NewInterner()
+	h := Header{Version: Version1, Kind: netsim.KindUDP, Length: 100, PathLen: 3}
+	h.Path[2] = 1
+	for i := 0; i < internerMax; i++ {
+		h.Path[0] = pathid.ASN(i >> 8)
+		h.Path[1] = pathid.ASN(i & 0xff)
+		in.Resolve(&h)
+	}
+	if in.Len() != internerMax {
+		t.Fatalf("interner holds %d entries after %d distinct paths, want %d", in.Len(), internerMax, internerMax)
+	}
+
+	// Past the bound: fresh paths still resolve correctly but are not
+	// remembered.
+	h.Path[0], h.Path[1] = 999, 42
+	id, key := in.Resolve(&h)
+	if key != "999-42-1" || !id.Equal(pathid.New(999, 42, 1)) {
+		t.Fatalf("overflow path resolved to id=%v key=%q", id, key)
+	}
+	if in.Len() != internerMax {
+		t.Fatalf("interner grew past the bound to %d entries", in.Len())
+	}
+	id2, key2 := in.Resolve(&h)
+	if key2 != key || !id2.Equal(id) {
+		t.Fatalf("overflow path unstable across calls: %q vs %q", key2, key)
+	}
+	if &id2[0] == &id[0] {
+		t.Fatal("overflow path was interned despite a full table")
+	}
+
+	// Paths interned before the bound are unaffected by the churn.
+	h.Path[0], h.Path[1] = 0, 7
+	c1, ck := in.Resolve(&h)
+	c2, _ := in.Resolve(&h)
+	if ck != "0-7-1" || &c1[0] != &c2[0] {
+		t.Fatalf("pre-bound path lost canonical identity: key=%q", ck)
+	}
+}
+
+// TestInternerReinternStable re-resolves one path many times: the table
+// must not grow and every call must return the same canonical backing
+// array and key.
+func TestInternerReinternStable(t *testing.T) {
+	in := NewInterner()
+	h := sampleHeader()
+	id0, key0 := in.Resolve(&h)
+	for i := 0; i < 1000; i++ {
+		id, key := in.Resolve(&h)
+		if &id[0] != &id0[0] || key != key0 {
+			t.Fatalf("iteration %d: re-intern returned a new identity", i)
+		}
+	}
+	if in.Len() != 1 {
+		t.Fatalf("re-interning one path grew the table to %d entries", in.Len())
+	}
+}
+
+// TestCaptureReaderLenientCounts exercises SkipMalformed at the wire
+// level: bad lines are skipped and counted under the right ErrorKind
+// while surrounding good records still decode.
+func TestCaptureReaderLenientCounts(t *testing.T) {
+	frame, err := MarshalAppend(nil, &Header{Version: Version1, Kind: netsim.KindUDP, Length: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := `{"t":1,"wire":"` + hexString(frame) + `"}`
+	bad := []string{
+		`not json`,            // ErrKindFraming
+		`{"t":1,"wire":"zz"}`, // ErrKindFraming (bad hex)
+		`{"t":1,"wire":"ff` + strings.Repeat("00", 13) + `"}`, // ErrKindVersion
+		`{"t":1,"wire":"01"}`, // ErrKindShort
+	}
+	input := good + "\n" + strings.Join(bad, "\n") + "\n" + good + "\n"
+
+	cr := NewCaptureReader(strings.NewReader(input))
+	cr.SkipMalformed(true)
+	var h Header
+	n := 0
+	for {
+		if _, err := cr.Next(&h); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("lenient reader surfaced error: %v", err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("decoded %d records, want 2", n)
+	}
+	if got := cr.Malformed(); got != int64(len(bad)) {
+		t.Fatalf("Malformed() = %d, want %d", got, len(bad))
+	}
+	byKind := cr.MalformedByKind()
+	if byKind[ErrKindFraming] != 2 || byKind[ErrKindVersion] != 1 || byKind[ErrKindShort] != 1 {
+		t.Fatalf("per-kind counts %v", byKind)
+	}
+}
