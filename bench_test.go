@@ -12,6 +12,7 @@
 package floc_test
 
 import (
+	"fmt"
 	"testing"
 
 	"floc"
@@ -198,12 +199,57 @@ func BenchmarkFLocRouterEnqueue(b *testing.B) {
 	var q floc.Discipline = r
 	path := floc.NewPathID(7, 3, 1)
 	pkt := &floc.Packet{Src: 1, Dst: 2, Size: 1000, Kind: floc.KindUDP, Path: path, PathKey: path.Key()}
+	pkt.PathHandle = r.InternPath(path) // producers stamp handles, as the wire pipeline does
 	now := 0.0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		now += 8e-6 // 125k packets/s
 		q.Enqueue(pkt, now)
 		q.Dequeue(now)
+	}
+}
+
+// BenchmarkFLocRouterEnqueueBatch measures the handle-stamped batched
+// admission path at the dataplane's batch sizes. Items rotate over enough
+// distinct paths to defeat the router's last-key memo, so the numbers
+// reflect the open-addressed table probes rather than the memo hit.
+func BenchmarkFLocRouterEnqueueBatch(b *testing.B) {
+	for _, size := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
+			r, err := floc.NewRouter(floc.DefaultRouterConfig(1e9, 1000))
+			if err != nil {
+				b.Fatal(err)
+			}
+			const nPaths = 8
+			paths := make([]floc.PathID, nPaths)
+			keys := make([]string, nPaths)
+			handles := make([]uint32, nPaths)
+			for i := range paths {
+				paths[i] = floc.NewPathID(floc.ASN(100+i), 3, 1)
+				keys[i] = paths[i].Key()
+				handles[i] = r.InternPath(paths[i])
+			}
+			pkts := make([]floc.Packet, size)
+			items := make([]floc.BatchItem, size)
+			now := 0.0
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				for j := range items {
+					now += 8e-6
+					pi := (i + j) % nPaths
+					pkts[j] = floc.Packet{
+						ID: uint64(i + j), Src: uint32(j), Dst: 2, Size: 1000,
+						Kind: floc.KindUDP, Path: paths[pi], PathKey: keys[pi],
+						PathHandle: handles[pi],
+					}
+					items[j] = floc.BatchItem{Pkt: &pkts[j], At: now}
+				}
+				r.EnqueueBatch(items)
+				for j := 0; j < size; j++ {
+					r.Dequeue(now)
+				}
+			}
+		})
 	}
 }
 
@@ -221,6 +267,7 @@ func BenchmarkFLocRouterEnqueueTelemetry(b *testing.B) {
 	var q floc.Discipline = r
 	path := floc.NewPathID(7, 3, 1)
 	pkt := &floc.Packet{Src: 1, Dst: 2, Size: 1000, Kind: floc.KindUDP, Path: path, PathKey: path.Key()}
+	pkt.PathHandle = r.InternPath(path)
 	now := 0.0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -188,9 +188,16 @@ func replayCapture(r io.Reader, e *dataplane.Engine, reg *telemetry.Registry) (n
 		if err != nil {
 			return n, cr.Malformed(), end, err
 		}
-		id, key := in.Resolve(&h)
+		res := in.ResolveFull(&h)
+		if !res.Bound {
+			// First packet of this path: intern it with its shard router
+			// so every later packet carries the dense handle and the
+			// admission path never hashes the path key.
+			res.Handle = e.InternPath(res.ID)
+			in.BindHandle(&h, res.Handle)
+		}
 		pkt := &netsim.Packet{}
-		h.ToPacket(pkt, uint64(n+1), id, key)
+		h.ToPacket(pkt, uint64(n+1), res.ID, res.Key, res.Handle)
 		e.Enqueue(pkt, t)
 		n++
 		end = t
@@ -240,10 +247,14 @@ func serveUDP(conn net.PacketConn, e *dataplane.Engine) error {
 		if _, err := wire.Decode(buf[:n], &h); err != nil {
 			continue // malformed datagrams are not the daemon's problem
 		}
-		idp, key := in.Resolve(&h)
+		res := in.ResolveFull(&h)
+		if !res.Bound {
+			res.Handle = e.InternPath(res.ID)
+			in.BindHandle(&h, res.Handle)
+		}
 		pkt := &netsim.Packet{}
 		id++
-		h.ToPacket(pkt, id, idp, key)
+		h.ToPacket(pkt, id, res.ID, res.Key, res.Handle)
 		//floclint:allow sim-time live dataplane stamps arrivals from the wall clock
 		e.Enqueue(pkt, time.Since(start).Seconds())
 	}

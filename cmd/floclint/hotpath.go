@@ -11,6 +11,8 @@ package main
 // the compiler will not reliably optimize away:
 //
 //   - map iteration (hides hashing work and defeats preallocation),
+//   - string-keyed map indexing (hashes the whole key per packet; hot
+//     state belongs in dense handle-indexed tables),
 //   - defer (allocates a defer record in non-open-coded cases and runs
 //     cold logic on the hot path),
 //   - fmt.* calls and non-constant string concatenation,
@@ -200,6 +202,8 @@ func (l *linter) checkHotpath(fn *ast.FuncDecl) {
 						"map iteration in //floc:hotpath function %s: hashing and randomized order do not belong on the per-packet path", fn.Name.Name)
 				}
 			}
+		case *ast.IndexExpr:
+			l.checkHotIndex(fn, n)
 		case *ast.BinaryExpr:
 			l.checkHotConcat(fn, n)
 		case *ast.AssignStmt:
@@ -222,6 +226,28 @@ func (l *linter) checkHotpath(fn *ast.FuncDecl) {
 		return true
 	}
 	ast.Inspect(fn.Body, walk)
+}
+
+// checkHotIndex flags string-keyed map lookups: every one hashes the
+// whole key string. Steady-state per-packet code must index dense
+// tables by integer handle; a string probe is only sanctioned at the
+// ingest boundary where the handle is minted (waived with
+// //floclint:allow hotpath there).
+func (l *linter) checkHotIndex(fn *ast.FuncDecl, ix *ast.IndexExpr) {
+	t := typeOf(l.info, ix.X)
+	if t == nil {
+		return
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return
+	}
+	if b, ok := m.Key().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+		return
+	}
+	l.report(ix.Pos(), RuleHotpath,
+		"string-keyed map index in //floc:hotpath function %s hashes the key on every packet; intern to a dense handle in a cold constructor",
+		fn.Name.Name)
 }
 
 // coldReasonGiven reports whether any coldpath directive line carries

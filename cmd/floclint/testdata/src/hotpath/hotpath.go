@@ -102,6 +102,20 @@ func collect(src []int) []int {
 	return out
 }
 
+// probe indexes a string-keyed map per call.
+//
+// floc:hotpath
+func probe(m map[string]int, k string) int {
+	return m[k] // WANT hotpath
+}
+
+// probeWrite hashes the key on the store side too.
+//
+// floc:hotpath
+func probeWrite(m map[string]uint32, k string, v uint32) {
+	m[k] = v // WANT hotpath
+}
+
 // helper is in this module but carries no annotation.
 func helper(n int) int { return n * 2 }
 

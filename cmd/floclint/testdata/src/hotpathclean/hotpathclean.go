@@ -67,6 +67,25 @@ func store(p *buf) any {
 	return p
 }
 
+// denseLookup indexes by integer handle: no hashing, no finding.
+//
+// floc:hotpath
+func denseLookup(table []int, byID map[uint32]int, h uint32) int {
+	if int(h) < len(table) {
+		return table[h]
+	}
+	return byID[h]
+}
+
+// ingest is the sanctioned string probe at the cold/hot boundary, waived
+// with a justified allow comment.
+//
+// floc:hotpath
+func ingest(m map[string]uint32, k string) uint32 {
+	//floclint:allow hotpath interning probe mints the dense handle
+	return m[k]
+}
+
 // helper is unannotated and free to use every construct the rule bans in
 // hot functions.
 func helper(m map[string]int) int {

@@ -1,0 +1,193 @@
+// Command perfgate compares two bench-snapshot JSON files (the
+// scripts/bench-snapshot.sh format) and fails when the new snapshot has
+// regressed past a percentage threshold. It is the enforcement half of
+// the repo's perf trajectory: BENCH_*.json files record where the hot
+// path has been, and check.sh's perf-gate stage refuses changes that
+// fall more than -pct percent behind the latest committed snapshot.
+//
+//	perfgate -old BENCH_1.json -new /tmp/fresh.json -pct 10
+//
+// Comparison rules, per family under "benchmarks":
+//
+//   - Flat families ({"ns_per_op": ...}) compare ns/op; higher is worse.
+//   - Array families compare entry-by-entry, matched on the family's
+//     parameter key ("shards", "batch"): ns/op higher-is-worse, and
+//     "mpps" lower-is-worse where present.
+//   - Families or entries present only in the new snapshot are additions,
+//     not regressions; families present only in the old snapshot are
+//     reported as dropped coverage and fail the gate (a family silently
+//     disappearing is how regressions hide).
+//
+// Exit status 0 when every family is within budget, 1 on any regression
+// or dropped family, 2 on usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "baseline snapshot (required)")
+		newPath = flag.String("new", "", "candidate snapshot (required)")
+		pct     = flag.Float64("pct", 10, "allowed regression in percent")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "perfgate: -old and -new are required")
+		os.Exit(2)
+	}
+	oldRaw, err := os.ReadFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+	newRaw, err := os.ReadFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+	regressions, notes, err := compare(oldRaw, newRaw, *pct)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+	for _, n := range notes {
+		fmt.Printf("perfgate: %s\n", n)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Printf("perfgate: REGRESSION %s\n", r)
+		}
+		fmt.Printf("perfgate: %d regression(s) past the %.1f%% budget (%s -> %s)\n",
+			len(regressions), *pct, *oldPath, *newPath)
+		os.Exit(1)
+	}
+	fmt.Printf("perfgate: ok, every family within %.1f%% of %s\n", *pct, *oldPath)
+}
+
+// snapshot is the subset of the bench-snapshot schema the gate reads.
+type snapshot struct {
+	Schema     string                     `json:"schema"`
+	Benchmarks map[string]json.RawMessage `json:"benchmarks"`
+}
+
+// entry is one measurement: a flat family decodes to exactly one, an
+// array family to one per parameter point.
+type entry struct {
+	Shards  *float64 `json:"shards"`
+	Batch   *float64 `json:"batch"`
+	NsPerOp float64  `json:"ns_per_op"`
+	Mpps    *float64 `json:"mpps"`
+}
+
+// param returns the entry's parameter axis as "name=value", "" for flat
+// families.
+func (e entry) param() string {
+	switch {
+	case e.Shards != nil:
+		return fmt.Sprintf("shards=%g", *e.Shards)
+	case e.Batch != nil:
+		return fmt.Sprintf("batch=%g", *e.Batch)
+	}
+	return ""
+}
+
+// compare diffs two snapshots and returns the regression and note lines.
+func compare(oldRaw, newRaw []byte, pct float64) (regressions, notes []string, err error) {
+	var oldSnap, newSnap snapshot
+	if err := json.Unmarshal(oldRaw, &oldSnap); err != nil {
+		return nil, nil, fmt.Errorf("old snapshot: %w", err)
+	}
+	if err := json.Unmarshal(newRaw, &newSnap); err != nil {
+		return nil, nil, fmt.Errorf("new snapshot: %w", err)
+	}
+	if oldSnap.Schema != newSnap.Schema {
+		return nil, nil, fmt.Errorf("schema mismatch: %q vs %q", oldSnap.Schema, newSnap.Schema)
+	}
+
+	families := make([]string, 0, len(oldSnap.Benchmarks))
+	for name := range oldSnap.Benchmarks {
+		families = append(families, name)
+	}
+	sort.Strings(families)
+
+	for _, name := range families {
+		newFam, ok := newSnap.Benchmarks[name]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: family dropped from the new snapshot", name))
+			continue
+		}
+		oldEntries, err := famEntries(oldSnap.Benchmarks[name])
+		if err != nil {
+			return nil, nil, fmt.Errorf("old %s: %w", name, err)
+		}
+		newEntries, err := famEntries(newFam)
+		if err != nil {
+			return nil, nil, fmt.Errorf("new %s: %w", name, err)
+		}
+		byParam := map[string]entry{}
+		for _, e := range newEntries {
+			byParam[e.param()] = e
+		}
+		for _, oldE := range oldEntries {
+			newE, ok := byParam[oldE.param()]
+			if !ok {
+				regressions = append(regressions,
+					fmt.Sprintf("%s{%s}: entry dropped from the new snapshot", name, oldE.param()))
+				continue
+			}
+			label := name
+			if p := oldE.param(); p != "" {
+				label = name + "{" + p + "}"
+			}
+			regressions = append(regressions,
+				checkMetric(label, "ns/op", oldE.NsPerOp, newE.NsPerOp, pct, true)...)
+			if oldE.Mpps != nil && newE.Mpps != nil {
+				regressions = append(regressions,
+					checkMetric(label, "mpps", *oldE.Mpps, *newE.Mpps, pct, false)...)
+			}
+		}
+	}
+
+	for name := range newSnap.Benchmarks {
+		if _, ok := oldSnap.Benchmarks[name]; !ok {
+			notes = append(notes, fmt.Sprintf("%s: new family, no baseline to compare", name))
+		}
+	}
+	sort.Strings(notes)
+	return regressions, notes, nil
+}
+
+// famEntries decodes one family value: a single object or an array.
+func famEntries(raw json.RawMessage) ([]entry, error) {
+	var one entry
+	if err := json.Unmarshal(raw, &one); err == nil {
+		return []entry{one}, nil
+	}
+	var many []entry
+	if err := json.Unmarshal(raw, &many); err != nil {
+		return nil, err
+	}
+	return many, nil
+}
+
+// checkMetric compares one metric: with higherWorse, the budget is
+// new <= old*(1+pct/100); otherwise new >= old*(1-pct/100).
+func checkMetric(label, metric string, old, cur, pct float64, higherWorse bool) []string {
+	if old <= 0 {
+		return nil // malformed or absent baseline point: nothing to hold to
+	}
+	delta := (cur - old) / old * 100
+	breached := higherWorse && delta > pct || !higherWorse && -delta > pct
+	if !breached {
+		return nil
+	}
+	return []string{fmt.Sprintf("%s %s %.2f -> %.2f (%+.1f%%, past the %.1f%% budget)",
+		label, metric, old, cur, delta, pct)}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseSnap = `{
+  "schema": "floc-bench-snapshot/v1",
+  "benchmarks": {
+    "router_enqueue": {"bench": "BenchmarkFLocRouterEnqueue", "ns_per_op": 30.0},
+    "dataplane_sharded": [
+      {"shards": 1, "ns_per_op": 130.0, "mpps": 7.692},
+      {"shards": 4, "ns_per_op": 120.0, "mpps": 8.333}
+    ],
+    "wire_decode": {"bench": "BenchmarkWireDecode", "ns_per_op": 21.0}
+  }
+}`
+
+func run(t *testing.T, oldJSON, newJSON string, pct float64) (regressions, notes []string) {
+	t.Helper()
+	regressions, notes, err := compare([]byte(oldJSON), []byte(newJSON), pct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return regressions, notes
+}
+
+func TestWithinBudgetPasses(t *testing.T) {
+	newSnap := strings.ReplaceAll(baseSnap, "30.0", "32.0") // +6.7% < 10%
+	if regs, _ := run(t, baseSnap, newSnap, 10); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestNsRegressionFails(t *testing.T) {
+	newSnap := strings.ReplaceAll(baseSnap, `"ns_per_op": 30.0`, `"ns_per_op": 40.0`)
+	regs, _ := run(t, baseSnap, newSnap, 10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "router_enqueue") {
+		t.Fatalf("want one router_enqueue regression, got %v", regs)
+	}
+}
+
+func TestMppsRegressionFails(t *testing.T) {
+	newSnap := strings.ReplaceAll(baseSnap, `"mpps": 7.692`, `"mpps": 6.0`)
+	regs, _ := run(t, baseSnap, newSnap, 10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "dataplane_sharded{shards=1} mpps") {
+		t.Fatalf("want one shards=1 mpps regression, got %v", regs)
+	}
+}
+
+func TestThresholdOverride(t *testing.T) {
+	newSnap := strings.ReplaceAll(baseSnap, `"ns_per_op": 30.0`, `"ns_per_op": 33.0`) // +10%
+	if regs, _ := run(t, baseSnap, newSnap, 25); len(regs) != 0 {
+		t.Fatalf("+10%% must pass a 25%% budget, got %v", regs)
+	}
+	if regs, _ := run(t, baseSnap, newSnap, 5); len(regs) != 1 {
+		t.Fatalf("+10%% must fail a 5%% budget, got %v", regs)
+	}
+}
+
+func TestDroppedFamilyFails(t *testing.T) {
+	newSnap := strings.ReplaceAll(baseSnap,
+		`    "wire_decode": {"bench": "BenchmarkWireDecode", "ns_per_op": 21.0}`,
+		`    "wire_decode_renamed": {"bench": "BenchmarkWireDecode", "ns_per_op": 21.0}`)
+	regs, notes := run(t, baseSnap, newSnap, 10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "wire_decode: family dropped") {
+		t.Fatalf("want dropped-family regression, got %v", regs)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "wire_decode_renamed") {
+		t.Fatalf("want new-family note, got %v", notes)
+	}
+}
+
+func TestNewFamilySkipped(t *testing.T) {
+	newSnap := strings.Replace(baseSnap, `"benchmarks": {`,
+		`"benchmarks": {
+    "router_enqueue_batch": [{"batch": 16, "ns_per_op": 12.0}],`, 1)
+	regs, notes := run(t, baseSnap, newSnap, 10)
+	if len(regs) != 0 {
+		t.Fatalf("additions are not regressions, got %v", regs)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "router_enqueue_batch") {
+		t.Fatalf("want one new-family note, got %v", notes)
+	}
+}
+
+func TestDroppedArrayEntryFails(t *testing.T) {
+	newSnap := strings.ReplaceAll(baseSnap,
+		`      {"shards": 4, "ns_per_op": 120.0, "mpps": 8.333}`,
+		`      {"shards": 8, "ns_per_op": 120.0, "mpps": 8.333}`)
+	regs, _ := run(t, baseSnap, newSnap, 10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "shards=4}: entry dropped") {
+		t.Fatalf("want dropped-entry regression, got %v", regs)
+	}
+}
+
+func TestSchemaMismatchErrors(t *testing.T) {
+	bad := strings.ReplaceAll(baseSnap, "floc-bench-snapshot/v1", "floc-bench-snapshot/v2")
+	if _, _, err := compare([]byte(baseSnap), []byte(bad), 10); err == nil {
+		t.Fatal("schema mismatch must be an error")
+	}
+}

@@ -45,6 +45,9 @@ type Router = core.Router
 // PathInfo is the externally visible state of one origin path identifier.
 type PathInfo = core.PathInfo
 
+// BatchItem is one (packet, arrival time) pair for Router.EnqueueBatch.
+type BatchItem = core.BatchItem
+
 // DefaultRouterConfig returns the evaluation defaults for a link of
 // linkRateBits bits/second with a buffer of capacity packets.
 func DefaultRouterConfig(linkRateBits float64, capacity int) RouterConfig {

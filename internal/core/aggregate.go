@@ -23,7 +23,7 @@ func (r *Router) planAggregation(now float64) {
 	plan := map[string][]*pathState{}
 	kind := map[string]aggKind{}
 
-	if r.cfg.SMax > 0 && len(r.origins) > r.cfg.SMax {
+	if r.cfg.SMax > 0 && r.origins.size() > r.cfg.SMax {
 		r.planAttackAggregation(plan, kind)
 	}
 	if r.cfg.LegitAggregation {
@@ -53,7 +53,7 @@ func (r *Router) attackLeafSets(assigned map[string]bool) []aggCandidate {
 		var members []*pathState
 		sum := 0.0
 		for _, leaf := range node.Leaves() {
-			ps := r.origins[leaf.Path().Key()]
+			ps := r.origins.lookup(leaf.Path().Key())
 			if ps == nil || !leaf.Attack || assigned[ps.key] {
 				continue
 			}
@@ -86,13 +86,13 @@ type aggCandidate struct {
 // identifiers fits |S|max.
 func (r *Router) planAttackAggregation(plan map[string][]*pathState, kind map[string]aggKind) {
 	legit, attack := 0, 0
-	for _, ps := range r.origins {
+	r.origins.each(func(ps *pathState) {
 		if ps.conformance < r.cfg.EThreshold {
 			attack++
 		} else {
 			legit++
 		}
-	}
+	})
 	// Paths that must disappear through aggregation.
 	needed := attack - (r.cfg.SMax - legit)
 	if needed <= 0 {
@@ -156,7 +156,7 @@ func (r *Router) planLegitAggregation(plan map[string][]*pathState, kind map[str
 		var members []*pathState
 		ok := true
 		for _, leaf := range node.Leaves() {
-			ps := r.origins[leaf.Path().Key()]
+			ps := r.origins.lookup(leaf.Path().Key())
 			if ps == nil {
 				continue
 			}
@@ -190,7 +190,7 @@ func (r *Router) legitAggregationBeneficial(members []*pathState) bool {
 	sumE, sumN, sumEN := 0.0, 0.0, 0.0
 	minN, maxN := math.Inf(1), 0.0
 	for _, m := range members {
-		n := math.Max(1, float64(len(m.flows)))
+		n := math.Max(1, float64(m.flows.len()))
 		sumE += m.conformance
 		sumN += n
 		sumEN += m.conformance * n
@@ -215,7 +215,7 @@ func (r *Router) legitAggregationBeneficial(members []*pathState) bool {
 	// k*n_j/sum(n) shares; reject if any member gains more than the
 	// configured fraction.
 	for _, m := range members {
-		n := math.Max(1, float64(len(m.flows)))
+		n := math.Max(1, float64(m.flows.len()))
 		if k*n/sumN > 1+r.cfg.LegitAggGuard {
 			return false
 		}
@@ -231,16 +231,16 @@ func (r *Router) applyPlan(plan map[string][]*pathState, kind map[string]aggKind
 	// diff can emit PathAggregated/PathReleased transitions.
 	var oldAgg map[string]string
 	if telemetry.Compiled && r.tel != nil {
-		oldAgg = make(map[string]string, len(r.origins))
-		for key, ps := range r.origins {
+		oldAgg = make(map[string]string, r.origins.size())
+		r.origins.each(func(ps *pathState) {
 			if ps.aggregate != nil {
-				oldAgg[key] = ps.aggregate.key
+				oldAgg[ps.key] = ps.aggregate.key
 			}
-		}
+		})
 	}
-	for _, ps := range r.origins {
+	r.origins.each(func(ps *pathState) {
 		ps.aggregate = nil
-	}
+	})
 	old := r.aggs
 	r.aggs = map[string]*pathState{}
 	for key, members := range plan {
@@ -265,7 +265,7 @@ func (r *Router) applyPlan(plan map[string][]*pathState, kind map[string]aggKind
 		sumN, sumEN := 0.0, 0.0
 		for _, m := range members {
 			m.aggregate = agg
-			n := math.Max(1, float64(len(m.flows)))
+			n := math.Max(1, float64(m.flows.len()))
 			sumN += n
 			sumEN += m.conformance * n
 		}
@@ -279,8 +279,8 @@ func (r *Router) applyPlan(plan map[string][]*pathState, kind map[string]aggKind
 	}
 
 	if telemetry.Compiled && r.tel != nil {
-		for _, key := range sortedOriginKeys(r.origins) {
-			ps := r.origins[key]
+		for _, key := range r.origins.sortedKeys() {
+			ps := r.origins.lookup(key)
 			newKey := ""
 			if ps.aggregate != nil {
 				newKey = ps.aggregate.key

@@ -47,3 +47,79 @@ func TestZeroAllocEnqueueBatch(t *testing.T) {
 		t.Fatalf("EnqueueBatch steady state allocates %.1f times per op, want 0", avg)
 	}
 }
+
+// TestZeroAllocEnqueueHandles gates the dense-handle admission path: with
+// PathHandle stamped and enough distinct paths to defeat the last-key
+// memo, steady state must resolve origins through the open-addressed
+// path table and flows through the open-addressed flow table without a
+// single allocation.
+func TestZeroAllocEnqueueHandles(t *testing.T) {
+	r, err := NewRouter(DefaultConfig(1e9, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nPaths = 16
+	items := make([]BatchItem, nPaths)
+	pkts := make([]netsim.Packet, nPaths)
+	const now = 1.0
+	for i := range items {
+		path := pathid.New(pathid.ASN(100+i), 3, 1)
+		pkts[i] = netsim.Packet{
+			ID: uint64(i), Src: uint32(i), Dst: 2, Size: 1000,
+			Kind: netsim.KindUDP, Path: path, PathKey: path.Key(),
+			PathHandle: r.InternPath(path),
+		}
+		items[i] = BatchItem{Pkt: &pkts[i], At: now}
+	}
+	for i := 0; i < 64; i++ {
+		r.EnqueueBatch(items)
+		for r.Dequeue(now) != nil {
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		r.EnqueueBatch(items)
+		for r.Dequeue(now) != nil {
+		}
+	}); avg != 0 {
+		t.Fatalf("handle-stamped steady state allocates %.1f times per op, want 0", avg)
+	}
+}
+
+// TestZeroAllocCapabilitySlots gates the capability-mode accounting path:
+// once a flow's slot is cached, acctKey must cost exactly one FlowHash —
+// the slot table returns the cached slot and pre-salted hash with no
+// allocation and no second hash.
+func TestZeroAllocCapabilitySlots(t *testing.T) {
+	cfg := DefaultConfig(1e9, 1024)
+	cfg.NMax = 4
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := pathid.New(7, 3, 1)
+	key := path.Key()
+	handle := r.InternPath(path)
+	const now = 1.0
+	items := make([]BatchItem, 8)
+	pkts := make([]netsim.Packet, len(items))
+	for i := range items {
+		pkts[i] = netsim.Packet{
+			ID: uint64(i), Src: uint32(i % 4), Dst: uint32(1000 + i), Size: 1000,
+			Kind: netsim.KindUDP, Path: path, PathKey: key, PathHandle: handle,
+		}
+		items[i] = BatchItem{Pkt: &pkts[i], At: now}
+	}
+	// Warm up: capability issue and slot-cache fill happen here.
+	for i := 0; i < 64; i++ {
+		r.EnqueueBatch(items)
+		for r.Dequeue(now) != nil {
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		r.EnqueueBatch(items)
+		for r.Dequeue(now) != nil {
+		}
+	}); avg != 0 {
+		t.Fatalf("capability-mode steady state allocates %.1f times per op, want 0", avg)
+	}
+}

@@ -25,6 +25,10 @@ func (r *Router) runControl(now float64) {
 	r.lastControl = now
 	r.controlRuns++
 
+	// Expiry below may remove the memoized origin; drop the memo before
+	// the pointer can dangle.
+	r.lastKey, r.lastOrigin = "", nil
+
 	r.expireFlows(now)
 	r.updateConformance(now)
 	r.planAggregation(now)
@@ -40,11 +44,13 @@ func (r *Router) runControl(now float64) {
 // floc:unit now seconds
 func (r *Router) expireFlows(now float64) {
 	var expired []string
-	for key, ps := range r.origins {
-		for fk, fs := range ps.flows {
+	var expiredPaths []*pathState
+	r.origins.each(func(ps *pathState) {
+		// compact both expires idle flows and rebuilds the open-addressed
+		// probe sequences (the table's only deletion point).
+		ps.flows.compact(func(_ flowKey, fs *flowState) bool {
 			if now-fs.lastSeen > r.cfg.FlowTimeout {
-				delete(ps.flows, fk)
-				continue
+				return false
 			}
 			fs.admittedRate = 0.5*(fs.admitted/r.cfg.ControlInterval) + 0.5*fs.admittedRate
 			fs.arrivedRate = 0.5*(fs.arrived/r.cfg.ControlInterval) + 0.5*fs.arrivedRate
@@ -59,17 +65,21 @@ func (r *Router) expireFlows(now float64) {
 					fs.escalation = math.Max(1, fs.escalation*0.7)
 				}
 			}
+			return true
+		})
+		if ps.flows.len() == 0 && ps.arrivedTokens == 0 && now-ps.createdAt > r.cfg.FlowTimeout {
+			expiredPaths = append(expiredPaths, ps)
 		}
-		if len(ps.flows) == 0 && ps.arrivedTokens == 0 && now-ps.createdAt > r.cfg.FlowTimeout {
-			delete(r.origins, key)
-			r.tree.Remove(ps.id)
-			if telemetry.Compiled && r.tel != nil {
-				expired = append(expired, key)
-			}
+	})
+	for _, ps := range expiredPaths {
+		r.origins.remove(ps)
+		r.tree.Remove(ps.id)
+		if telemetry.Compiled && r.tel != nil {
+			expired = append(expired, ps.key)
 		}
 	}
 	if telemetry.Compiled && r.tel != nil && len(expired) > 0 {
-		// The expiry loop walks a map; sort so the trace is deterministic.
+		// The expiry walk is unordered; sort so the trace is deterministic.
 		sort.Strings(expired)
 		for _, key := range expired {
 			r.tel.Emit(telemetry.Event{Time: now, Type: telemetry.EventPathExpired, Path: key})
@@ -88,11 +98,11 @@ func (r *Router) updateConformance(now float64) {
 		hash uint64
 	}
 	var newlyFlagged []flagged
-	for _, ps := range r.origins {
+	r.origins.each(func(ps *pathState) {
 		eff := ps.effective()
 		fair := r.fairShare(eff)
 		attack := 0
-		for _, fs := range ps.flows {
+		ps.flows.each(func(_ flowKey, fs *flowState) {
 			st := r.filter.Query(fs.hash, now, r.epoch(eff), r.filterK(eff))
 			// A flow is an attack flow if its drop record shows excess
 			// drops (Section IV-B.2) or its offered rate persistently
@@ -107,9 +117,9 @@ func (r *Router) updateConformance(now float64) {
 				newlyFlagged = append(newlyFlagged, flagged{path: ps.key, hash: fs.hash})
 			}
 			fs.attackFlagged = isAttack
-		}
+		})
 		ps.attackFlows = attack
-		n := len(ps.flows)
+		n := ps.flows.len()
 		if n > 0 {
 			sample := 1 - float64(attack)/float64(n)
 			ps.conformance = r.cfg.Beta*sample + (1-r.cfg.Beta)*ps.conformance
@@ -123,7 +133,7 @@ func (r *Router) updateConformance(now float64) {
 			ps.leaf.Flows = n
 			ps.leaf.Attack = ps.conformance < r.cfg.EThreshold
 		}
-	}
+	})
 	if telemetry.Compiled && r.tel != nil && len(newlyFlagged) > 0 {
 		// Classification walks maps; sort (path, flow) so the trace is
 		// deterministic.
@@ -160,7 +170,7 @@ func (r *Router) rttOf(ps *pathState) float64 {
 			if !m.rtt.Initialized() {
 				continue
 			}
-			w := math.Max(1, float64(len(m.flows)))
+			w := math.Max(1, float64(m.flows.len()))
 			num += m.rtt.Value() * w
 			den += w
 		}
@@ -177,12 +187,12 @@ func (r *Router) rttOf(ps *pathState) float64 {
 // guaranteedPaths returns the current bandwidth-guaranteed identifiers:
 // non-aggregated origin paths plus aggregates, deterministically ordered.
 func (r *Router) guaranteedPaths() []*pathState {
-	out := make([]*pathState, 0, len(r.origins)+len(r.aggs))
-	for _, ps := range r.origins {
+	out := make([]*pathState, 0, r.origins.size()+len(r.aggs))
+	r.origins.each(func(ps *pathState) {
 		if ps.aggregate == nil {
 			out = append(out, ps)
 		}
-	}
+	})
 	for _, ps := range r.aggs {
 		out = append(out, ps)
 	}
@@ -354,21 +364,17 @@ type PathInfo struct {
 
 // PathInfos returns per-origin-path state, sorted by key.
 func (r *Router) PathInfos() []PathInfo {
-	keys := make([]string, 0, len(r.origins))
-	for k := range r.origins {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := r.origins.sortedKeys()
 	out := make([]PathInfo, 0, len(keys))
 	for _, k := range keys {
-		ps := r.origins[k]
+		ps := r.origins.lookup(k)
 		eff := ps.effective()
 		info := PathInfo{
 			Key:             ps.key,
 			Conformance:     ps.conformance,
 			Attack:          ps.attack,
 			Aggregated:      ps.aggregate != nil,
-			Flows:           len(ps.flows),
+			Flows:           ps.flows.len(),
 			AttackFlows:     ps.attackFlows,
 			AllocPackets:    eff.alloc,
 			Period:          eff.params.Period,
@@ -424,17 +430,17 @@ func newEWMA() *stats.EWMA { return stats.NewEWMA(0.3) }
 // floc:unit now seconds
 // floc:unit modelEstimate ratio
 func (r *Router) DistinctDroppedFlows(pathKey string, now float64) (distinct int, modelEstimate float64) {
-	ps := r.origins[pathKey]
+	ps := r.origins.lookup(pathKey)
 	if ps == nil {
 		return 0, 0
 	}
 	eff := ps.effective()
-	for _, fs := range ps.flows {
+	ps.flows.each(func(_ flowKey, fs *flowState) {
 		st := r.filter.Query(fs.hash, now, r.epoch(eff), r.filterK(eff))
 		if st.TS > 0 || st.D > 0 {
 			distinct++
 		}
-	}
+	})
 	w := eff.params.Window
 	if w <= 0 {
 		return distinct, 0

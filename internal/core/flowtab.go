@@ -1,0 +1,197 @@
+package core
+
+import "floc/internal/netsim"
+
+// This file holds the open-addressed per-flow state tables that replace
+// the router's map[flowKey]*flowState and map[netsim.FlowID]uint32. Both
+// are power-of-two tables with linear probing keyed by the 64-bit
+// dropfilter.FlowHash the admission path computes anyway, so the Go map
+// hasher never runs on the hot path. Neither table has tombstones: the
+// flow table is rebuilt (compact) at control-run boundaries, the slot
+// table never deletes (capability slots live for the run, as the map they
+// replace did).
+
+// flowEntry is one flow table slot; fs == nil marks it empty. The exact
+// flowKey is stored and compared so hash collisions stay correct.
+type flowEntry struct {
+	hash uint64
+	key  flowKey
+	fs   *flowState
+}
+
+const flowTableMinSize = 8
+
+// flowTable maps flow accounting identities to their state.
+type flowTable struct {
+	entries []flowEntry // power-of-two length, or nil before first put
+	scratch []flowEntry // reused by compact
+	n       int
+}
+
+// get returns the flow's state, or nil.
+// floc:hotpath
+func (t *flowTable) get(hash uint64, key flowKey) *flowState {
+	if t.n == 0 {
+		return nil
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := hash & mask; ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if e.fs == nil {
+			return nil
+		}
+		if e.hash == hash && e.key == key {
+			return e.fs
+		}
+	}
+}
+
+// put inserts a new flow. The caller guarantees key is absent.
+// floc:coldpath flow-state creation is a first-packet event
+func (t *flowTable) put(hash uint64, key flowKey, fs *flowState) {
+	if len(t.entries) == 0 {
+		t.entries = make([]flowEntry, flowTableMinSize)
+	} else if (t.n+1)*4 > len(t.entries)*3 {
+		t.rebuild(len(t.entries) * 2)
+	}
+	t.insert(flowEntry{hash: hash, key: key, fs: fs})
+	t.n++
+}
+
+// insert places an entry in the first empty probe slot. The load factor
+// cap guarantees one exists.
+func (t *flowTable) insert(e flowEntry) {
+	mask := uint64(len(t.entries) - 1)
+	for i := e.hash & mask; ; i = (i + 1) & mask {
+		if t.entries[i].fs == nil {
+			t.entries[i] = e
+			return
+		}
+	}
+}
+
+// rebuild rehashes every live entry into a table of the given size.
+func (t *flowTable) rebuild(size int) {
+	old := t.entries
+	t.entries = make([]flowEntry, size)
+	for i := range old {
+		if old[i].fs != nil {
+			t.insert(old[i])
+		}
+	}
+}
+
+// len returns the number of live flows.
+// floc:hotpath
+func (t *flowTable) len() int { return t.n }
+
+// each visits every live flow in table order (deterministic for a given
+// operation history; callers must not depend on any particular order).
+func (t *flowTable) each(fn func(key flowKey, fs *flowState)) {
+	for i := range t.entries {
+		if e := &t.entries[i]; e.fs != nil {
+			fn(e.key, e.fs)
+		}
+	}
+}
+
+// compact calls keep exactly once per live flow, drops the rejected ones,
+// and rebuilds the probe sequences (this is what makes the table
+// tombstone-free: deletion only ever happens here, at control-run
+// boundaries). The table shrinks when occupancy falls below 1/8.
+// floc:coldpath flow expiry runs in the control loop
+func (t *flowTable) compact(keep func(key flowKey, fs *flowState) bool) {
+	if t.n == 0 {
+		return
+	}
+	t.scratch = t.scratch[:0]
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.fs == nil {
+			continue
+		}
+		if keep(e.key, e.fs) {
+			t.scratch = append(t.scratch, *e)
+		}
+		*e = flowEntry{}
+	}
+	size := len(t.entries)
+	for size > flowTableMinSize && len(t.scratch)*8 < size {
+		size /= 2
+	}
+	if size != len(t.entries) {
+		t.entries = make([]flowEntry, size)
+	}
+	t.n = len(t.scratch)
+	for i := range t.scratch {
+		t.insert(t.scratch[i])
+	}
+	for i := range t.scratch {
+		t.scratch[i].fs = nil // release expired states to the GC
+	}
+}
+
+// slotEntry is one capability-slot cache slot; slotPlus1 == 0 marks it
+// empty. salted caches the pre-salted accounting hash so the per-packet
+// path computes exactly one FlowHash.
+type slotEntry struct {
+	hash      uint64
+	salted    uint64
+	id        netsim.FlowID
+	slotPlus1 uint32
+}
+
+// slotTable maps flow endpoints to their capability fan-out slot and
+// pre-salted accounting hash. Entries are never removed, matching the map
+// it replaces.
+type slotTable struct {
+	entries []slotEntry
+	n       int
+}
+
+// get returns the flow's cached slot and salted hash.
+// floc:hotpath
+func (t *slotTable) get(hash uint64, id netsim.FlowID) (slot uint32, salted uint64, ok bool) {
+	if t.n == 0 {
+		return 0, 0, false
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := hash & mask; ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if e.slotPlus1 == 0 {
+			return 0, 0, false
+		}
+		if e.hash == hash && e.id == id {
+			return e.slotPlus1 - 1, e.salted, true
+		}
+	}
+}
+
+// put caches a freshly issued slot. The caller guarantees id is absent.
+// floc:coldpath capability issue happens once per flow, not per packet
+func (t *slotTable) put(hash uint64, id netsim.FlowID, slot uint32, salted uint64) {
+	if len(t.entries) == 0 {
+		t.entries = make([]slotEntry, flowTableMinSize)
+	} else if (t.n+1)*4 > len(t.entries)*3 {
+		old := t.entries
+		t.entries = make([]slotEntry, len(old)*2)
+		for i := range old {
+			if old[i].slotPlus1 != 0 {
+				t.reinsert(old[i])
+			}
+		}
+	}
+	t.reinsert(slotEntry{hash: hash, salted: salted, id: id, slotPlus1: slot + 1})
+	t.n++
+}
+
+// reinsert places an entry in the first empty probe slot.
+func (t *slotTable) reinsert(e slotEntry) {
+	mask := uint64(len(t.entries) - 1)
+	for i := e.hash & mask; ; i = (i + 1) & mask {
+		if t.entries[i].slotPlus1 == 0 {
+			t.entries[i] = e
+			return
+		}
+	}
+}

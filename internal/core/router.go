@@ -124,9 +124,12 @@ func (fs *flowState) offeredRate(controlInterval float64) float64 {
 // pathState holds everything the router knows about one path identifier —
 // an origin (leaf) path, or an aggregate created by path aggregation.
 type pathState struct {
-	key  string
-	id   pathid.PathID
-	leaf *pathid.Node
+	key string
+	id  pathid.PathID
+	// handle is the path's dense pathTable handle (0 for overflow paths
+	// and aggregates).
+	handle uint32
+	leaf   *pathid.Node
 
 	// members is non-nil for aggregates: the origin paths merged into it.
 	members []*pathState
@@ -146,7 +149,7 @@ type pathState struct {
 	conformance float64 //floc:unit ratio
 	attack      bool
 
-	flows       map[flowKey]*flowState
+	flows       flowTable
 	attackFlows int
 
 	// Interval measurement (reset each control tick).
@@ -184,11 +187,11 @@ func (p *pathState) effective() *pathState {
 // floc:hotpath
 func (p *pathState) flowCount() int {
 	if p.members == nil {
-		return len(p.flows)
+		return p.flows.len()
 	}
 	n := 0
 	for _, m := range p.members {
-		n += len(m.flows)
+		n += m.flows.len()
 	}
 	return n
 }
@@ -205,13 +208,20 @@ type Router struct {
 	qmax float64 //floc:unit packets
 
 	tree    *pathid.Tree
-	origins map[string]*pathState // by PathID key, origin paths only
+	origins *pathTable            // origin paths, handle-indexed
 	aggs    map[string]*pathState // by aggregate key
+
+	// lastKey/lastOrigin memoize the last origin() resolution for packets
+	// that carry a PathKey but no handle (producers reusing one key string
+	// hit the pointer-equality fast path of the string compare). Cleared
+	// every control run, before expiry can invalidate the pointer.
+	lastKey    string
+	lastOrigin *pathState
 
 	filter *dropfilter.Filter
 	issuer *capability.Issuer
 	acct   *capability.Accountant
-	slots  map[netsim.FlowID]uint32 // capability slot cache
+	slots  slotTable // capability slot cache
 
 	lastControl float64 //floc:unit seconds
 	controlRuns int
@@ -259,12 +269,11 @@ func NewRouter(cfg Config) (*Router, error) {
 		qmax:       float64(cfg.Capacity),
 		lastMode:   ModeUncongested,
 		tree:       pathid.NewTree(cfg.RouterAS),
-		origins:    map[string]*pathState{},
+		origins:    newPathTable(),
 		aggs:       map[string]*pathState{},
 		filter:     filter,
 		issuer:     issuer,
 		acct:       acct,
-		slots:      map[netsim.FlowID]uint32{},
 		epochFloor: 2 * cfg.Filter.TickSeconds,
 	}, nil
 }
@@ -306,7 +315,9 @@ func (r *Router) Admitted() int64 { return r.admitted }
 // ControlRuns returns how many control-loop executions have happened.
 func (r *Router) ControlRuns() int { return r.controlRuns }
 
-// acctKey computes a packet's flow accounting identity and hash.
+// acctKey computes a packet's flow accounting identity and hash. One
+// FlowHash per packet: in capability mode the slot table caches the
+// pre-salted accounting hash alongside the slot.
 // floc:hotpath
 func (r *Router) acctKey(pkt *netsim.Packet) (flowKey, uint64) {
 	if r.issuer == nil {
@@ -314,41 +325,60 @@ func (r *Router) acctKey(pkt *netsim.Packet) (flowKey, uint64) {
 		return k, dropfilter.FlowHash(k.src, k.id)
 	}
 	fid := pkt.Flow()
-	slot, ok := r.slots[fid]
+	h := dropfilter.FlowHash(fid.Src, fid.Dst)
+	slot, salted, ok := r.slots.get(h, fid)
 	if !ok {
-		slot = r.openSlot(pkt, fid)
+		slot, salted = r.openSlot(pkt, fid, h)
 	}
-	k := flowKey{src: pkt.Src, id: slot}
-	// Salt the hash so slot ids don't collide with destination addresses.
-	return k, dropfilter.FlowHash(k.src, k.id^0x5a5a5a5a)
+	return flowKey{src: pkt.Src, id: slot}, salted
 }
 
 // openSlot issues a capability for a flow's first packet and caches its
-// fan-out slot.
+// fan-out slot plus the salted accounting hash (salted so slot ids don't
+// collide with destination addresses).
 // floc:coldpath capability issue happens once per flow, not per packet
-func (r *Router) openSlot(pkt *netsim.Packet, fid netsim.FlowID) uint32 {
+func (r *Router) openSlot(pkt *netsim.Packet, fid netsim.FlowID, h uint64) (uint32, uint64) {
 	c := r.issuer.Issue(pkt.Src, pkt.Dst, pkt.Path)
 	slot := uint32(c.Slot)
-	r.slots[fid] = slot
+	salted := dropfilter.FlowHash(pkt.Src, slot^0x5a5a5a5a)
+	r.slots.put(h, fid, slot, salted)
 	r.acct.Open(pkt.Src, c)
-	return slot
+	return slot, salted
+}
+
+// InternPath binds path to this router's dense integer handle and returns
+// it (0 when the dense handle space is exhausted; such paths simply keep
+// using string keys). Producers stamp the handle into Packet.PathHandle
+// so steady-state admission needs no hashing at all. No path state is
+// created: that stays lazy, on the first packet.
+// floc:coldpath interning happens once per path per producer
+func (r *Router) InternPath(path pathid.PathID) uint32 {
+	return r.origins.intern(path.Key())
 }
 
 // origin returns (creating if necessary) the origin path state for pkt.
+// Resolution order: dense handle (no hashing), last-key memo (string
+// compare with a pointer-equality fast path), then the cold miss path.
 // floc:unit now seconds
 // floc:hotpath
 func (r *Router) origin(pkt *netsim.Packet, now float64) *pathState {
-	if pkt.PathKey != "" {
-		if ps, ok := r.origins[pkt.PathKey]; ok {
+	if h := pkt.PathHandle; h != 0 {
+		if ps := r.origins.byHandle(h); ps != nil {
+			if invariant.Hot && pkt.PathKey != "" {
+				invariant.True("core.handle.binding", ps.key == pkt.PathKey)
+			}
 			return ps
 		}
+	}
+	if pkt.PathKey != "" && pkt.PathKey == r.lastKey {
+		return r.lastOrigin
 	}
 	return r.originMiss(pkt, now)
 }
 
 // originMiss is origin's slow path: packets without a precomputed key
 // (which must render one) and the first packet of a path (which builds
-// its state).
+// its state). Every resolution refreshes the last-key memo.
 // floc:unit now seconds
 // floc:coldpath key rendering and path-state creation happen off the keyed fast path
 func (r *Router) originMiss(pkt *netsim.Packet, now float64) *pathState {
@@ -356,7 +386,9 @@ func (r *Router) originMiss(pkt *netsim.Packet, now float64) *pathState {
 	if key == "" {
 		key = pkt.Path.Key()
 	}
-	if ps, ok := r.origins[key]; ok {
+	memoKey := key
+	if ps := r.origins.lookup(key); ps != nil {
+		r.lastKey, r.lastOrigin = memoKey, ps
 		return ps
 	}
 	leaf, err := r.tree.Insert(pkt.Path)
@@ -364,7 +396,8 @@ func (r *Router) originMiss(pkt *netsim.Packet, now float64) *pathState {
 		// Unmarked packet: account it under a synthetic unknown path.
 		leaf, _ = r.tree.Insert(pathid.New(0))
 		key = pathid.New(0).Key()
-		if ps, ok := r.origins[key]; ok {
+		if ps := r.origins.lookup(key); ps != nil {
+			r.lastKey, r.lastOrigin = memoKey, ps
 			return ps
 		}
 	}
@@ -375,14 +408,14 @@ func (r *Router) originMiss(pkt *netsim.Packet, now float64) *pathState {
 		shares:      1,
 		rtt:         stats.NewEWMA(0.3),
 		conformance: 1.0,
-		flows:       map[flowKey]*flowState{},
 		createdAt:   now,
 	}
 	leaf.Conformance = 1.0
 	bucket, _ := tokenbucket.New(r.cfg.ControlInterval, math.Max(1, r.cfg.linkRatePackets()*r.cfg.ControlInterval))
 	ps.bucket = bucket
 	ps.params = tcpmodel.Params{Period: r.cfg.ControlInterval, RefMTD: r.cfg.DefaultRTT}
-	r.origins[key] = ps
+	r.origins.put(key, ps)
+	r.lastKey, r.lastOrigin = memoKey, ps
 	if telemetry.Compiled && r.tel != nil {
 		r.bindPathCounters(ps)
 	}
@@ -406,10 +439,10 @@ func (r *Router) Enqueue(pkt *netsim.Packet, now float64) bool {
 
 	// Flow accounting and RTT measurement on the origin path.
 	key, hash := r.acctKey(pkt)
-	fs := orig.flows[key]
+	fs := orig.flows.get(hash, key)
 	if fs == nil {
 		fs = &flowState{hash: hash}
-		orig.flows[key] = fs
+		orig.flows.put(hash, key, fs)
 	}
 	fs.lastSeen = now
 	//floc:nonexhaustive RTT sampling keys on SYN and first forward data; SYNACK/ACK travel the reverse path and never reach this router's measurement
@@ -607,7 +640,7 @@ func (r *Router) fairShare(eff *pathState) float64 {
 func (r *Router) FlowExcess(src, dst uint32, path pathid.PathID, now float64) float64 {
 	pkt := &netsim.Packet{Src: src, Dst: dst, Path: path}
 	_, hash := r.acctKey(pkt)
-	orig := r.origins[path.Key()]
+	orig := r.origins.lookup(path.Key())
 	if orig == nil {
 		return 0
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"floc/internal/telemetry"
 )
@@ -99,9 +98,9 @@ func (r *Router) SetTelemetry(tel *telemetry.Telemetry) {
 	for i := 0; i < r.fifo.Len(); i++ {
 		r.delayQ.push(math.NaN())
 	}
-	for _, ps := range r.origins {
+	r.origins.each(func(ps *pathState) {
 		r.bindPathCounters(ps)
-	}
+	})
 }
 
 // Telemetry returns the attached telemetry instance (nil when disabled).
@@ -169,9 +168,9 @@ func (r *Router) sampleControl(now float64) {
 	}
 
 	if r.tel.Recorder != nil {
-		keys := sortedOriginKeys(r.origins)
+		keys := r.origins.sortedKeys()
 		for _, key := range keys {
-			ps := r.origins[key]
+			ps := r.origins.lookup(key)
 			eff := ps.effective()
 			s := telemetry.PathSample{
 				Time:         now,
@@ -181,7 +180,7 @@ func (r *Router) sampleControl(now float64) {
 				AllocPackets: eff.alloc,
 				BucketSize:   eff.params.Bucket,
 				Period:       eff.params.Period,
-				Flows:        len(ps.flows),
+				Flows:        ps.flows.len(),
 				AttackFlows:  ps.attackFlows,
 				// Interval arrivals are metered on the effective (bucket-
 				// owning) identifier; drops are the origin's cumulative
@@ -205,17 +204,6 @@ func (r *Router) sampleControl(now float64) {
 		Mode:  r.Mode().String(),
 		Value: float64(r.controlRuns),
 	})
-}
-
-// sortedOriginKeys returns the origin path keys in sorted order, for
-// deterministic emission.
-func sortedOriginKeys(origins map[string]*pathState) []string {
-	keys := make([]string, 0, len(origins))
-	for k := range origins {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }
 
 // timeQueue mirrors the FIFO's order with the sim-time each packet was

@@ -32,9 +32,13 @@ func BenchmarkDataplaneEnqueueSharded(b *testing.B) {
 			// constant, so in-flight reuse cannot corrupt accounting).
 			paths := make([]pathid.PathID, 64)
 			keys := make([]string, 64)
+			handles := make([]uint32, 64)
 			for i := range paths {
 				paths[i] = pathid.New(pathid.ASN(1000+i), pathid.ASN(i%8), 1)
 				keys[i] = paths[i].Key()
+				// Pre-intern like the wire pipeline does: steady-state
+				// admission is handle-indexed.
+				handles[i] = e.InternPath(paths[i])
 			}
 			var producer atomic.Int64
 			b.ResetTimer()
@@ -49,6 +53,7 @@ func BenchmarkDataplaneEnqueueSharded(b *testing.B) {
 					*pkt = netsim.Packet{
 						ID: i, Src: uint32(p), Dst: 1, Size: 1000,
 						Kind: netsim.KindUDP, Path: paths[pi], PathKey: keys[pi],
+						PathHandle: handles[pi],
 					}
 					e.Enqueue(pkt, 1.0)
 					i++

@@ -157,13 +157,16 @@ const (
 	cmdSync cmdKind = iota + 1
 	cmdAdvance
 	cmdSnapshot
+	cmdIntern
 )
 
 type command struct {
-	kind cmdKind
-	now  float64 //floc:unit seconds
-	snap chan core.Snapshot
-	done chan struct{}
+	kind   cmdKind
+	now    float64 //floc:unit seconds
+	path   pathid.PathID
+	snap   chan core.Snapshot
+	handle chan uint32
+	done   chan struct{}
 }
 
 // New builds an engine and starts its workers.
@@ -395,7 +398,27 @@ func (sh *shard) handle(c command) {
 		close(c.done)
 	case cmdSnapshot:
 		c.snap <- sh.router.Snapshot()
+	case cmdIntern:
+		c.handle <- sh.router.InternPath(c.path)
 	}
+}
+
+// InternPath binds path to a dense handle on the shard router that owns
+// it and returns the handle (0 when the engine is closed or the router's
+// handle space is exhausted). Producers stamp it into Packet.PathHandle;
+// since Enqueue routes a path's packets to that same shard, the handle is
+// always presented to the router that minted it. Cold: call once per
+// path, not per packet.
+func (e *Engine) InternPath(path pathid.PathID) uint32 {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	if e.closed.Load() {
+		return 0
+	}
+	sh := e.shards[pathShard(path, len(e.shards))]
+	reply := make(chan uint32, 1)
+	sh.cmds <- command{kind: cmdIntern, path: path, handle: reply}
+	return <-reply
 }
 
 // Drain blocks until every packet enqueued happens-before the call has

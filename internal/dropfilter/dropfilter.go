@@ -49,18 +49,31 @@ func DefaultConfig() Config {
 }
 
 // record is one filter slot. A zero record is empty.
+//
+// The encoding is 8 bytes: t_l keeps full tick resolution, while t_s and
+// d are 16-bit saturating counters (their configured caps — paper: 15 and
+// 63 — fit with room to spare; New rejects caps beyond 65535). With m=4
+// arrays a flow's whole record block is 32 contiguous bytes.
 type record struct {
-	ts uint32 // congestion epochs since creation (saturating at TSMax)
 	tl uint32 // last update, in ticks
-	d  uint32 // extra drops (saturating at DMax)
+	ts uint16 // congestion epochs since creation (saturating at TSMax)
+	d  uint16 // extra drops (saturating at DMax)
 }
 
 // Filter is the drop-record filter. It is not safe for concurrent use.
+//
+// Layout: the m per-array records of slot s are stored contiguously as a
+// block recs[s*m : s*m+m] (a blocked counting Bloom filter, à la Putze et
+// al.). One RecordDrop or Query therefore touches at most two cache lines
+// instead of m scattered ones. The trade-off is the standard blocked-Bloom
+// one — two flows that collide in the block index collide in every array —
+// which slightly raises the false-positive rate at equal table size; the
+// conservative min-read and decay semantics are unchanged.
 type Filter struct {
-	cfg   Config
-	mask  uint64
-	slots [][]record // [array][slot]
-	live  int        // number of non-empty records (approximate, for stats)
+	cfg  Config
+	mask uint64
+	recs []record // blocked: slot s, array i at recs[s*Arrays+i]
+	live int      // number of non-empty records (approximate, for stats)
 
 	// Cumulative operation counters, for telemetry.
 	recordOps int64
@@ -81,12 +94,15 @@ func New(cfg Config) (*Filter, error) {
 	if cfg.TSMax < 1 || cfg.DMax < 1 {
 		return nil, fmt.Errorf("dropfilter: TSMax/DMax must be >= 1")
 	}
-	size := 1 << cfg.Bits
-	slots := make([][]record, cfg.Arrays)
-	for i := range slots {
-		slots[i] = make([]record, size)
+	if cfg.TSMax > 65535 || cfg.DMax > 65535 {
+		return nil, fmt.Errorf("dropfilter: TSMax/DMax must fit 16 bits (<= 65535)")
 	}
-	return &Filter{cfg: cfg, mask: uint64(size - 1), slots: slots}, nil
+	size := 1 << cfg.Bits
+	return &Filter{
+		cfg:  cfg,
+		mask: uint64(size - 1),
+		recs: make([]record, size*cfg.Arrays),
+	}, nil
 }
 
 // Config returns the filter's configuration.
@@ -95,7 +111,7 @@ func (f *Filter) Config() Config { return f.cfg }
 // MemoryBytes returns the memory footprint of the record arrays, for the
 // Section V-B sizing analysis.
 func (f *Filter) MemoryBytes() int {
-	const recordSize = 12 // 3 * uint32
+	const recordSize = 8 // uint32 + 2 * uint16
 	return f.cfg.Arrays * (1 << f.cfg.Bits) * recordSize
 }
 
@@ -124,12 +140,12 @@ func FlowHash(src, dst uint32) uint64 {
 	return h
 }
 
-// slotIndex returns the slot of flow h in array i (double hashing).
+// blockBase returns the index into recs of flow h's record block: the m
+// per-array records start here and are contiguous.
 //
 // floc:hotpath
-func (f *Filter) slotIndex(h uint64, i int) uint64 {
-	h2 := h>>33 | 1 // odd stride
-	return (h + uint64(i)*h2) & f.mask
+func (f *Filter) blockBase(h uint64) uint64 {
+	return (h & f.mask) * uint64(f.cfg.Arrays)
 }
 
 // arraySpan is the set of arrays a flow touches, as a value: start index,
@@ -198,7 +214,7 @@ func (f *Filter) decay(r *record, nowTicks, epochTicks uint32) {
 	if epochs == 0 {
 		return
 	}
-	if uint32(epochs) >= r.d {
+	if epochs >= uint32(r.d) {
 		// Record fully decayed: clear.
 		if r.ts != 0 || r.d != 0 {
 			f.live--
@@ -206,12 +222,12 @@ func (f *Filter) decay(r *record, nowTicks, epochTicks uint32) {
 		*r = record{}
 		return
 	}
-	r.d -= epochs
-	ts := r.ts + epochs
-	if ts > f.cfg.TSMax || ts < r.ts {
+	r.d -= uint16(epochs) // epochs < d <= 65535, so the cast is exact
+	ts := uint32(r.ts) + epochs
+	if ts > f.cfg.TSMax {
 		ts = f.cfg.TSMax
 	}
-	r.ts = ts
+	r.ts = uint16(ts)
 	r.tl += epochs * epochTicks
 }
 
@@ -235,10 +251,11 @@ func (f *Filter) RecordDrop(h uint64, now, epoch float64, k int, weight uint32) 
 	if epochTicks == 0 {
 		epochTicks = 1
 	}
+	base := f.blockBase(h)
 	span := f.arraysFor(h, k)
 	for j := 0; j < span.n; j++ {
 		i := span.index(j)
-		r := &f.slots[i][f.slotIndex(h, i)]
+		r := &f.recs[base+uint64(i)]
 		f.decay(r, nowTicks, epochTicks)
 		add := weight
 		if r.ts == 0 && r.d == 0 {
@@ -251,18 +268,18 @@ func (f *Filter) RecordDrop(h uint64, now, epoch float64, k int, weight uint32) 
 			f.live++
 			add = weight - 1
 		}
-		d := r.d + add
-		if d > f.cfg.DMax || d < r.d {
+		d := uint32(r.d) + add
+		if d > f.cfg.DMax || d < uint32(r.d) {
 			d = f.cfg.DMax
 		}
-		r.d = d
+		r.d = uint16(d) // d <= DMax <= 65535 by New's validation
 		r.tl = nowTicks
 		if invariant.Hot {
 			// Saturation bounds of the Section V-B record encoding: t_s and
 			// d must never exceed their field capacity, and a live record
 			// always has ts >= 1 (the creation epoch).
 			invariant.True("dropfilter.record.saturation",
-				r.d <= f.cfg.DMax && r.ts <= f.cfg.TSMax && r.ts >= 1)
+				uint32(r.d) <= f.cfg.DMax && uint32(r.ts) <= f.cfg.TSMax && r.ts >= 1)
 		}
 	}
 	if invariant.Hot {
@@ -330,16 +347,17 @@ func (f *Filter) Query(h uint64, now, epoch float64, k int) State {
 		epochTicks = 1
 	}
 	best := State{TS: math.MaxUint32, D: math.MaxUint32}
+	base := f.blockBase(h)
 	span := f.arraysFor(h, k)
 	for j := 0; j < span.n; j++ {
 		i := span.index(j)
-		r := f.slots[i][f.slotIndex(h, i)] // copy; decay without storing
+		r := f.recs[base+uint64(i)] // copy; decay without storing
 		f.decayCopy(&r, nowTicks, epochTicks)
 		if r.ts == 0 && r.d == 0 {
 			return State{} // any empty array proves the flow is clean
 		}
-		if r.d < best.D {
-			best = State{TS: r.ts, D: r.d}
+		if uint32(r.d) < best.D {
+			best = State{TS: uint32(r.ts), D: uint32(r.d)}
 		}
 	}
 	if best.D == math.MaxUint32 {
@@ -371,25 +389,23 @@ func (f *Filter) decayCopy(r *record, nowTicks, epochTicks uint32) {
 	if epochs == 0 {
 		return
 	}
-	if epochs >= r.d {
+	if epochs >= uint32(r.d) {
 		*r = record{}
 		return
 	}
-	r.d -= epochs
-	ts := r.ts + epochs
-	if ts > f.cfg.TSMax || ts < r.ts {
+	r.d -= uint16(epochs)
+	ts := uint32(r.ts) + epochs
+	if ts > f.cfg.TSMax {
 		ts = f.cfg.TSMax
 	}
-	r.ts = ts
+	r.ts = uint16(ts)
 	r.tl += epochs * epochTicks
 }
 
 // Reset clears all records and the operation counters.
 func (f *Filter) Reset() {
-	for i := range f.slots {
-		for j := range f.slots[i] {
-			f.slots[i][j] = record{}
-		}
+	for i := range f.recs {
+		f.recs[i] = record{}
 	}
 	f.live = 0
 	f.recordOps = 0

@@ -345,7 +345,7 @@ func TestMemoryBytes(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Bits = 10
 	f := mustNew(t, cfg)
-	if got := f.MemoryBytes(); got != 4*1024*12 {
+	if got := f.MemoryBytes(); got != 4*1024*8 {
 		t.Fatalf("MemoryBytes = %d", got)
 	}
 }

@@ -105,6 +105,13 @@ type Packet struct {
 	// not re-stringify the path; sources that send many packets on one
 	// path should set it.
 	PathKey string
+	// PathHandle optionally carries the dense integer handle a router
+	// assigned to Path (core.Router.InternPath). Zero means unset. A
+	// handle is local to the router that issued it — the router tags its
+	// handles and ignores foreign ones, falling back to PathKey/Path —
+	// so stamping it is always safe and makes steady-state admission
+	// hash-free.
+	PathHandle uint32
 
 	// Attack is ground truth used only by measurement code; no defense
 	// reads it.

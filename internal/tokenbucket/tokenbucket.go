@@ -77,9 +77,26 @@ func (b *Bucket) Period() float64 { return b.period }
 func (b *Bucket) Size() float64 { return b.size }
 
 // advance rolls the bucket forward to now, refilling at period boundaries.
+// The guard is kept tiny and inlineable: in the steady state (many takes
+// per period) it is one subtraction and one compare, so a caller issuing
+// a burst of takes at the same timestamp pays the refill logic at most
+// once. `now-periodStart < period` also covers stale calls (now before
+// periodStart makes the difference negative), exactly like the two early
+// returns the slow path retains.
 // floc:unit now seconds
 // floc:hotpath
 func (b *Bucket) advance(now float64) {
+	if b.started && now-b.periodStart < b.period {
+		return
+	}
+	b.advanceSlow(now)
+}
+
+// advanceSlow initializes the bucket on first use and performs period
+// rollovers.
+// floc:unit now seconds
+// floc:coldpath runs at most once per period boundary, not per take
+func (b *Bucket) advanceSlow(now float64) {
 	if !b.started {
 		b.started = true
 		b.periodStart = now

@@ -321,22 +321,25 @@ func FromPacket(h *Header, pkt *netsim.Packet) error {
 }
 
 // ToPacket fills pkt from the decoded header. The caller supplies the
-// packet ID and the canonical path identifier and key (via an Interner,
-// so hot decode paths share one PathID per distinct path instead of
-// allocating per packet).
+// packet ID and the canonical path identifier, key, and router path
+// handle (via an Interner, so hot decode paths share one PathID per
+// distinct path instead of allocating per packet). handle may be 0
+// (unknown); a non-zero handle lets the router admit the packet without
+// hashing anything but the flow id.
 //
 // floc:hotpath
-func (h *Header) ToPacket(pkt *netsim.Packet, id uint64, path pathid.PathID, key string) {
+func (h *Header) ToPacket(pkt *netsim.Packet, id uint64, path pathid.PathID, key string, handle uint32) {
 	*pkt = netsim.Packet{
-		ID:       id,
-		Src:      h.Src,
-		Dst:      h.Dst,
-		Size:     int(h.Length),
-		Kind:     h.Kind,
-		Path:     path,
-		PathKey:  key,
-		Attack:   h.Flags&FlagAttack != 0,
-		Priority: h.Flags&FlagPriority != 0,
+		ID:         id,
+		Src:        h.Src,
+		Dst:        h.Dst,
+		Size:       int(h.Length),
+		Kind:       h.Kind,
+		Path:       path,
+		PathKey:    key,
+		PathHandle: handle,
+		Attack:     h.Flags&FlagAttack != 0,
+		Priority:   h.Flags&FlagPriority != 0,
 	}
 }
 
@@ -354,8 +357,19 @@ type Interner struct {
 }
 
 type internEntry struct {
-	id  pathid.PathID
-	key string
+	id     pathid.PathID
+	key    string
+	handle uint32 // router path handle, once bound
+	bound  bool   // BindHandle ran for this entry (a 0 handle can be a valid binding)
+}
+
+// Resolved is ResolveFull's result: the canonical path identity plus the
+// router handle binding, if BindHandle has recorded one.
+type Resolved struct {
+	ID     pathid.PathID
+	Key    string
+	Handle uint32
+	Bound  bool
 }
 
 // NewInterner returns an empty interner.
@@ -373,11 +387,47 @@ func (in *Interner) Resolve(h *Header) (pathid.PathID, string) {
 	for i := 0; i < int(h.PathLen); i++ {
 		in.buf = binary.BigEndian.AppendUint32(in.buf, uint32(h.Path[i]))
 	}
+	//floclint:allow hotpath interning is the one sanctioned string probe at ingest; every later stage is handle-indexed
 	if e, ok := in.m[string(in.buf)]; ok {
 		return e.id, e.key
 	}
 	e := in.intern(h)
 	return e.id, e.key
+}
+
+// ResolveFull is Resolve plus the entry's router-handle binding, for
+// ingest loops that stamp Packet.PathHandle: resolve, and on !Bound
+// intern the path with the router once (cold) and BindHandle the result.
+//
+// floc:hotpath
+func (in *Interner) ResolveFull(h *Header) Resolved {
+	in.buf = in.buf[:0]
+	for i := 0; i < int(h.PathLen); i++ {
+		in.buf = binary.BigEndian.AppendUint32(in.buf, uint32(h.Path[i]))
+	}
+	//floclint:allow hotpath interning is the one sanctioned string probe at ingest; every later stage is handle-indexed
+	if e, ok := in.m[string(in.buf)]; ok {
+		return Resolved{ID: e.id, Key: e.key, Handle: e.handle, Bound: e.bound}
+	}
+	e := in.intern(h)
+	return Resolved{ID: e.id, Key: e.key}
+}
+
+// BindHandle records the router path handle for h's path, so subsequent
+// ResolveFull calls return it. A no-op for paths past the interner bound
+// (they re-resolve per call anyway).
+//
+// floc:coldpath handle binding happens once per path
+func (in *Interner) BindHandle(h *Header, handle uint32) {
+	in.buf = in.buf[:0]
+	for i := 0; i < int(h.PathLen); i++ {
+		in.buf = binary.BigEndian.AppendUint32(in.buf, uint32(h.Path[i]))
+	}
+	if e, ok := in.m[string(in.buf)]; ok {
+		e.handle = handle
+		e.bound = true
+		in.m[string(in.buf)] = e
+	}
 }
 
 // intern is Resolve's miss path: the first sighting of a path allocates

@@ -176,10 +176,10 @@ func TestPacketConversion(t *testing.T) {
 	var back netsim.Packet
 	in := NewInterner()
 	id, key := in.Resolve(&h)
-	h.ToPacket(&back, 42, id, key)
+	h.ToPacket(&back, 42, id, key, 7)
 	if back.Src != pkt.Src || back.Dst != pkt.Dst || back.Size != pkt.Size ||
 		back.Kind != pkt.Kind || !back.Path.Equal(pkt.Path) ||
-		back.PathKey != "3-2-1" || !back.Attack || !back.Priority {
+		back.PathKey != "3-2-1" || back.PathHandle != 7 || !back.Attack || !back.Priority {
 		t.Fatalf("conversion mismatch: %+v", back)
 	}
 
