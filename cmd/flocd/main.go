@@ -22,17 +22,21 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"floc/internal/core"
 	"floc/internal/dataplane"
+	"floc/internal/ledger"
 	"floc/internal/netsim"
 	"floc/internal/pathid"
 	"floc/internal/rng"
@@ -40,66 +44,102 @@ import (
 	"floc/internal/wire"
 )
 
+// options collects the daemon's resolved flags.
+type options struct {
+	listen   string
+	replay   string
+	gen      int
+	out      string
+	seed     uint64
+	shards   int
+	linkRate float64 //floc:unit bits/s
+	capacity int     //floc:unit packets
+	ringSize int     //floc:unit packets
+	batch    int     //floc:unit packets
+	metrics  string
+	snapshot bool
+	printMet bool
+	ledger   string
+	traceCap int
+	pprof    bool
+}
+
 func main() {
-	var (
-		listen   = flag.String("listen", "", "UDP address to receive wire-encoded packets on (live mode)")
-		replay   = flag.String("replay", "", "NDJSON capture file to replay (offline mode)")
-		gen      = flag.Int("gen", 0, "generate a synthetic capture with this many packets and exit")
-		out      = flag.String("out", "", "output file for -gen (default stdout)")
-		seed     = flag.Uint64("seed", 7, "engine and generator seed")
-		shards   = flag.Int("shards", 0, "dataplane shards (0 = one per core)")
-		linkRate = flag.Float64("link", 8e6, "protected link rate in bits/s")
-		capacity = flag.Int("capacity", 512, "aggregate buffer capacity in packets")
-		ringSize = flag.Int("ring", 1024, "per-shard ring capacity in packets (power of two)")
-		batch    = flag.Int("batch", 64, "per-shard admission batch size")
-		metrics  = flag.String("metrics", "", "HTTP address to serve /metrics on (empty = off)")
-		snapshot = flag.Bool("snapshot", false, "print the merged router snapshot at exit")
-		printMet = flag.Bool("print-metrics", false, "print the metric registry as Prometheus text at exit")
-	)
+	var o options
+	flag.StringVar(&o.listen, "listen", "", "UDP address to receive wire-encoded packets on (live mode)")
+	flag.StringVar(&o.replay, "replay", "", "NDJSON capture file to replay (offline mode)")
+	flag.IntVar(&o.gen, "gen", 0, "generate a synthetic capture with this many packets and exit")
+	flag.StringVar(&o.out, "out", "", "output file for -gen (default stdout)")
+	flag.Uint64Var(&o.seed, "seed", 7, "engine and generator seed")
+	flag.IntVar(&o.shards, "shards", 0, "dataplane shards (0 = one per core)")
+	flag.Float64Var(&o.linkRate, "link", 8e6, "protected link rate in bits/s")
+	flag.IntVar(&o.capacity, "capacity", 512, "aggregate buffer capacity in packets")
+	flag.IntVar(&o.ringSize, "ring", 1024, "per-shard ring capacity in packets (power of two)")
+	flag.IntVar(&o.batch, "batch", 64, "per-shard admission batch size")
+	flag.StringVar(&o.metrics, "metrics", "", "HTTP address to serve /metrics and /healthz on (empty = off)")
+	flag.BoolVar(&o.snapshot, "snapshot", false, "print the merged router snapshot at exit")
+	flag.BoolVar(&o.printMet, "print-metrics", false, "print the metric registry as Prometheus text at exit")
+	flag.StringVar(&o.ledger, "ledger", "", "directory to seal the forensic event ledger into (must not hold one already)")
+	flag.IntVar(&o.traceCap, "trace", 65536, "per-shard event-trace ring capacity (0 = off; losses count on "+telemetry.TraceDroppedMetric+")")
+	flag.BoolVar(&o.pprof, "pprof", false, "also serve net/http/pprof on the -metrics listener")
 	flag.Parse()
-	if err := run(*listen, *replay, *gen, *out, *seed, *shards, *linkRate, *capacity,
-		*ringSize, *batch, *metrics, *snapshot, *printMet); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "flocd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, replay string, gen int, out string, seed uint64, shards int,
-	linkRate float64, capacity, ringSize, batch int, metrics string,
-	snapshot, printMet bool) error {
-	if gen > 0 {
+func run(o options) error {
+	if o.gen > 0 {
 		w := io.Writer(os.Stdout)
-		if out != "" {
-			f, err := os.Create(out)
+		if o.out != "" {
+			f, err := os.Create(o.out)
 			if err != nil {
 				return err
 			}
 			defer f.Close()
 			w = f
 		}
-		return generateCapture(w, gen, seed)
+		return generateCapture(w, o.gen, o.seed)
 	}
-	if (listen == "") == (replay == "") {
+	if (o.listen == "") == (o.replay == "") {
 		return fmt.Errorf("exactly one of -listen or -replay is required (or -gen)")
 	}
 
 	reg := telemetry.NewRegistry()
-	rc := core.DefaultConfig(linkRate, capacity)
-	rc.Seed = seed
+	var sealer *ledger.Sealer
+	var sink telemetry.EventSink
+	if o.ledger != "" {
+		s, err := ledger.NewSealer(o.ledger, ledger.SealerOptions{})
+		if err != nil {
+			return err
+		}
+		sealer = s
+		sink = s
+	}
+	rc := core.DefaultConfig(o.linkRate, o.capacity)
+	rc.Seed = o.seed
 	engine, err := dataplane.New(dataplane.Config{
-		Router:      rc,
-		Shards:      shards,
-		RingSize:    ringSize,
-		Batch:       batch,
-		BlockOnFull: replay != "", // a capture has no real clock: pace, don't drop
-		Telemetry:   reg,
+		Router:        rc,
+		Shards:        o.shards,
+		RingSize:      o.ringSize,
+		Batch:         o.batch,
+		BlockOnFull:   o.replay != "", // a capture has no real clock: pace, don't drop
+		Telemetry:     reg,
+		TraceCapacity: o.traceCap,
+		Sink:          sink,
 	})
 	if err != nil {
+		if sealer != nil {
+			sealer.Close()
+		}
 		return err
 	}
 
-	if metrics != "" {
-		srv := &http.Server{Addr: metrics, Handler: metricsMux(reg)}
+	if o.metrics != "" {
+		//floclint:allow sim-time the health surface reports real daemon uptime
+		h := &health{engine: engine, reg: reg, start: time.Now()}
+		srv := &http.Server{Addr: o.metrics, Handler: serveMux(reg, h, o.pprof)}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "flocd: metrics:", err)
@@ -108,8 +148,8 @@ func run(listen, replay string, gen int, out string, seed uint64, shards int,
 		defer srv.Close()
 	}
 
-	if replay != "" {
-		f, err := os.Open(replay)
+	if o.replay != "" {
+		f, err := os.Open(o.replay)
 		if err != nil {
 			return err
 		}
@@ -119,13 +159,16 @@ func run(listen, replay string, gen int, out string, seed uint64, shards int,
 			return err
 		}
 		engine.Advance(end)
-		finish(engine, reg, snapshot, printMet)
+		snap := finish(engine, reg, o.snapshot, o.printMet)
+		if err := sealLedger(sealer, o.ledger, snap); err != nil {
+			return err
+		}
 		fmt.Fprintf(os.Stderr, "flocd: replayed %d packets over %.3fs of capture time on %d shards (%d malformed lines skipped)\n",
 			n, end, engine.Shards(), malformed)
 		return nil
 	}
 
-	conn, err := net.ListenPacket("udp", listen)
+	conn, err := net.ListenPacket("udp", o.listen)
 	if err != nil {
 		return err
 	}
@@ -141,12 +184,13 @@ func run(listen, replay string, gen int, out string, seed uint64, shards int,
 	if err := serveUDP(conn, engine); err != nil {
 		return err
 	}
-	finish(engine, reg, snapshot, printMet)
-	return nil
+	snap := finish(engine, reg, o.snapshot, o.printMet)
+	return sealLedger(sealer, o.ledger, snap)
 }
 
-// finish drains the engine and emits the requested end-of-run reports.
-func finish(e *dataplane.Engine, reg *telemetry.Registry, snapshot, printMet bool) {
+// finish drains the engine, emits the requested end-of-run reports, and
+// returns the merged final snapshot.
+func finish(e *dataplane.Engine, reg *telemetry.Registry, snapshot, printMet bool) core.Snapshot {
 	e.Drain()
 	snap := e.Snapshot()
 	e.Close()
@@ -159,12 +203,77 @@ func finish(e *dataplane.Engine, reg *telemetry.Registry, snapshot, printMet boo
 	if printMet {
 		_ = reg.WriteText(os.Stdout)
 	}
+	return snap
 }
 
-// metricsMux routes /metrics to the registry's Prometheus handler.
-func metricsMux(reg *telemetry.Registry) *http.ServeMux {
+// sealLedger closes the sealer, stores the run's claimed snapshot next to
+// the ledger, and logs the chain head — the line to publish out-of-band:
+// an anchored head is what makes even a coordinated tail truncation of
+// ledger and events files detectable later.
+func sealLedger(sealer *ledger.Sealer, dir string, snap core.Snapshot) error {
+	if sealer == nil {
+		return nil
+	}
+	if err := sealer.Close(); err != nil {
+		return err
+	}
+	if err := ledger.WriteSnapshot(filepath.Join(dir, ledger.SnapshotName), snap); err != nil {
+		return err
+	}
+	head := sealer.Head()
+	fmt.Fprintf(os.Stderr, "flocd: ledger: sealed %d segments (%d events) in %s; head %x\n",
+		sealer.Segments(), sealer.Events(), dir, head[:])
+	return nil
+}
+
+// health serves /healthz: a small JSON liveness document summarizing the
+// dataplane since start, cheap enough for a tight probe interval.
+type health struct {
+	engine *dataplane.Engine
+	reg    *telemetry.Registry
+	start  time.Time
+}
+
+func (h *health) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	st := h.engine.Stats()
+	//floclint:allow sim-time the health surface reports real daemon uptime
+	up := time.Since(h.start).Seconds()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Shards        int     `json:"shards"`
+		Accepted      int64   `json:"accepted"`
+		Processed     int64   `json:"processed"`
+		RingDrops     int64   `json:"ring_drops"`
+		TraceDropped  int64   `json:"trace_dropped_events"`
+	}{
+		Status:        "ok",
+		UptimeSeconds: up,
+		Shards:        h.engine.Shards(),
+		Accepted:      st.Accepted,
+		Processed:     st.Processed,
+		RingDrops:     st.RingDrops,
+		TraceDropped:  h.reg.CounterValue(telemetry.TraceDroppedMetric),
+	})
+}
+
+// serveMux routes the observability listener: /metrics always, /healthz
+// when a health source is attached, and the pprof family opt-in (profiling
+// endpoints can stall a loaded daemon, so they are never on by default).
+func serveMux(reg *telemetry.Registry, h *health, withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
+	if h != nil {
+		mux.Handle("/healthz", h)
+	}
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

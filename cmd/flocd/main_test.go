@@ -2,13 +2,18 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"floc/internal/core"
 	"floc/internal/dataplane"
+	"floc/internal/ledger"
 	"floc/internal/telemetry"
 )
 
@@ -82,7 +87,7 @@ func TestGenerateReplayEndToEnd(t *testing.T) {
 	}
 
 	// The merged run is visible over HTTP in Prometheus text form.
-	srv := httptest.NewServer(metricsMux(reg))
+	srv := httptest.NewServer(serveMux(reg, nil, false))
 	defer srv.Close()
 	resp, err := srv.Client().Get(srv.URL + "/metrics")
 	if err != nil {
@@ -175,11 +180,107 @@ func TestGenerateCaptureDeterministic(t *testing.T) {
 	}
 }
 
+// testOptions mirrors the daemon's flag defaults for in-process runs.
+func testOptions() options {
+	return options{seed: 1, linkRate: 8e6, capacity: 512, ringSize: 1024,
+		batch: 64, traceCap: 65536}
+}
+
 func TestRunRejectsAmbiguousModes(t *testing.T) {
-	if err := run("", "", 0, "", 1, 0, 8e6, 512, 1024, 64, "", false, false); err == nil {
+	if err := run(testOptions()); err == nil {
 		t.Fatal("no mode selected should be an error")
 	}
-	if err := run(":0", "x.ndjson", 0, "", 1, 0, 8e6, 512, 1024, 64, "", false, false); err == nil {
+	o := testOptions()
+	o.listen, o.replay = ":0", "x.ndjson"
+	if err := run(o); err == nil {
 		t.Fatal("both modes selected should be an error")
+	}
+}
+
+// TestLedgerEndToEnd drives the whole forensic loop in-process: generate
+// a capture, replay it with -ledger sealing on a sharded engine, then
+// verify the sealed evidence and replay it against the claimed snapshot.
+func TestLedgerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	capPath := filepath.Join(dir, "capture.ndjson")
+	ledgerDir := filepath.Join(dir, "ledger")
+
+	f, err := os.Create(capPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := generateCapture(f, 5000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	o := testOptions()
+	o.replay = capPath
+	o.shards = 2
+	o.ledger = ledgerDir
+	if err := run(o); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	rep, events, err := ledger.VerifyCollect(ledgerDir)
+	if err != nil {
+		t.Fatalf("VerifyCollect: %v", err)
+	}
+	if rep.Segments == 0 || rep.Events == 0 {
+		t.Fatalf("ledger sealed nothing: %+v", rep)
+	}
+	snap, err := ledger.ReadSnapshot(filepath.Join(ledgerDir, ledger.SnapshotName))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if snap.Arrived != 5000 {
+		t.Fatalf("claimed snapshot arrived = %d, want 5000", snap.Arrived)
+	}
+	if diffs := ledger.Replay(events).Diff(snap); len(diffs) != 0 {
+		t.Fatalf("sealed events do not reproduce the claimed snapshot:\n%s",
+			strings.Join(diffs, "\n"))
+	}
+
+	// A second run into the same directory must refuse to reseal.
+	if err := run(o); err == nil {
+		t.Fatal("resealing into an existing ledger directory must fail")
+	}
+}
+
+func TestHealthzReportsDataplane(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := newTestEngine(t, reg, 2)
+	defer e.Close()
+	//floclint:allow sim-time the health surface reports real daemon uptime
+	h := &health{engine: e, reg: reg, start: time.Now()}
+	srv := httptest.NewServer(serveMux(reg, h, true))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Status string `json:"status"`
+		Shards int    `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "ok" || doc.Shards != 2 {
+		t.Fatalf("healthz = %+v", doc)
+	}
+
+	// pprof rides the same listener when enabled.
+	pp, err := srv.Client().Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != 200 {
+		t.Fatalf("pprof endpoint status %d", pp.StatusCode)
 	}
 }

@@ -1,0 +1,28 @@
+package hotpath
+
+// digest is a stand-in for a hashing helper: module code with no
+// hot/cold annotation.
+func digest(line []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, b := range line {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
+
+// admitAndSeal hashes evidence directly on the admission path instead of
+// handing the bytes to a cold sealer: the unannotated callee is the
+// finding that proves hashing leaked onto the hot path.
+//
+// floc:hotpath
+func admitAndSeal(line []byte) uint64 {
+	return digest(line) // WANT hotpath
+}
+
+// admitAndBuffer grows a fresh evidence buffer per packet.
+//
+// floc:hotpath
+func admitAndBuffer(line []byte) []byte {
+	buf := make([]byte, 0, len(line)) // WANT hotpath
+	return append(buf, line...)
+}

@@ -1,0 +1,49 @@
+package hotpathclean
+
+// eventSink mirrors the telemetry sink seam: hot emitters call through
+// an interface, so the lint cannot (and must not) chase into whatever
+// cold implementation is plugged in behind it.
+type eventSink interface {
+	emit(v int)
+}
+
+// emitter owns its sink; the hot path is one field read plus an
+// interface call.
+type emitter struct {
+	sink eventSink
+}
+
+// emit forwards a decision record. Interface method calls are exempt
+// from the callee-annotation requirement: the dispatch target is not
+// knowable statically, and the sanctioned implementations are cold.
+//
+// floc:hotpath
+func (e *emitter) emit(v int) {
+	if e.sink != nil {
+		e.sink.emit(v)
+	}
+}
+
+// sealSegment is the cold implementation behind the sink: hashing and
+// encoding evidence belongs here, off the per-packet path.
+//
+// floc:coldpath sealing runs once per control-run boundary, never per packet
+func sealSegment(lines [][]byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, line := range lines {
+		for _, b := range line {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+	}
+	return h
+}
+
+// flush takes the sanctioned cold excursion at a segment boundary.
+//
+// floc:hotpath
+func flush(pending [][]byte, boundary bool) uint64 {
+	if boundary {
+		return sealSegment(pending)
+	}
+	return 0
+}

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"floc/internal/core"
 	"floc/internal/invariant"
@@ -66,6 +67,17 @@ type Config struct {
 	// across shards (shared atomic handles); gauges are last-writer-wins
 	// per control run and are only indicative under sharding.
 	Telemetry *telemetry.Registry
+	// TraceCapacity, when > 0, attaches a bounded event-trace ring of
+	// that size to each shard router. Wraparound losses from every shard
+	// count on the shared Telemetry counter
+	// floc_trace_dropped_events_total. Requires Telemetry.
+	TraceCapacity int
+	// Sink, when non-nil, receives every shard router's emitted events
+	// with Event.Shard stamped to the emitting shard — the seam the
+	// forensic ledger sealer plugs into. The sink is shared by all shard
+	// workers concurrently and must be safe for concurrent use. Requires
+	// Telemetry.
+	Sink telemetry.EventSink
 }
 
 // withDefaults resolves zero values.
@@ -94,6 +106,10 @@ func (c Config) validate() error {
 	case c.Router.Capacity/c.Shards < 4:
 		return fmt.Errorf("dataplane: capacity %d over %d shards leaves < 4 packets per shard",
 			c.Router.Capacity, c.Shards)
+	case c.TraceCapacity > 0 && c.Telemetry == nil:
+		return fmt.Errorf("dataplane: TraceCapacity requires Telemetry")
+	case c.Sink != nil && c.Telemetry == nil:
+		return fmt.Errorf("dataplane: Sink requires Telemetry")
 	}
 	return nil
 }
@@ -111,6 +127,27 @@ type Stats struct {
 
 // seedStride separates shard RNG streams (64-bit golden ratio, odd).
 const seedStride = 0x9e3779b97f4a7c15
+
+// admissionLatencyBounds are the fixed buckets for the per-shard batch
+// admission latency histogram: 1µs to ~16ms in powers of four, wide
+// enough to show a stall without per-observation allocation.
+var admissionLatencyBounds = []float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, //floc:unit seconds
+}
+
+// shardSink stamps the emitting shard's index onto every event bound
+// for the engine-wide sink, so ledger replay can reconstruct per-shard
+// streams (mode transitions and control-run counts are per-shard state).
+type shardSink struct {
+	shard uint32
+	dst   telemetry.EventSink
+}
+
+// floc:hotpath
+func (s *shardSink) Emit(e telemetry.Event) {
+	e.Shard = s.shard
+	s.dst.Emit(e)
+}
 
 // Engine is the sharded dataplane. Enqueue is safe for concurrent use by
 // any number of producers; Drain, Advance, Snapshot and Close serialize
@@ -139,6 +176,11 @@ type shard struct {
 	ringDrops atomic.Int64
 	processed atomic.Int64
 	dropCtr   *telemetry.Counter // nil when telemetry is off
+
+	// Health surface (nil when telemetry is off): batch admission wall-
+	// clock latency and ring occupancy sampled after each drained batch.
+	latHist  *telemetry.Histogram
+	occGauge *telemetry.Gauge
 
 	// Worker-owned state below; never touched by producers.
 	buf       []item
@@ -208,10 +250,27 @@ func New(cfg Config) (*Engine, error) {
 			rateBytes: rc.LinkRateBits / 8,
 		}
 		if cfg.Telemetry != nil {
-			router.SetTelemetry(&telemetry.Telemetry{Registry: cfg.Telemetry})
+			tel := &telemetry.Telemetry{Registry: cfg.Telemetry}
+			if cfg.TraceCapacity > 0 {
+				tel.Trace = telemetry.NewTrace(cfg.TraceCapacity)
+				// All shard traces share the one wraparound counter.
+				tel.Trace.SetDropCounter(cfg.Telemetry.Counter(telemetry.TraceDroppedMetric,
+					"events lost to trace ring wraparound", "events"))
+			}
+			if cfg.Sink != nil {
+				tel.Sink = &shardSink{shard: uint32(i), dst: cfg.Sink}
+			}
+			router.SetTelemetry(tel)
 			sh.dropCtr = cfg.Telemetry.Counter(
 				fmt.Sprintf(`floc_dataplane_ring_full_drops_total{shard="%d"}`, i),
 				"packets dropped at a full shard ring", "packets")
+			sh.occGauge = cfg.Telemetry.Gauge(
+				fmt.Sprintf(`floc_dataplane_ring_occupancy{shard="%d"}`, i),
+				"shard ring occupancy after the last drained batch", "packets")
+			sh.latHist = cfg.Telemetry.Histogram(
+				fmt.Sprintf(`floc_dataplane_admission_batch_seconds{shard="%d"}`, i),
+				"wall-clock time to admit one drained batch", "seconds",
+				admissionLatencyBounds)
 		}
 		e.shards[i] = sh
 	}
@@ -350,6 +409,10 @@ func (sh *shard) run() {
 // enqueues and dequeues.
 // floc:hotpath
 func (sh *shard) process(items []item) {
+	var start time.Time
+	if sh.latHist != nil {
+		start = time.Now() //floclint:allow sim-time wall-clock batch latency is exactly what the health histogram measures
+	}
 	sh.serve(items[0].at)
 	sh.bi = sh.bi[:0]
 	for i := range items {
@@ -357,6 +420,10 @@ func (sh *shard) process(items []item) {
 	}
 	sh.router.EnqueueBatch(sh.bi)
 	sh.processed.Add(int64(len(items)))
+	if sh.latHist != nil {
+		sh.latHist.Observe(time.Since(start).Seconds()) //floclint:allow sim-time wall-clock batch latency is exactly what the health histogram measures
+		sh.occGauge.Set(float64(sh.ring.occupancy()))
+	}
 }
 
 // serve drains the router's output queue through the shard's share of

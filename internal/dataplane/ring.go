@@ -95,3 +95,12 @@ func (r *ring) empty() bool {
 	s := &r.slots[r.deq&r.mask]
 	return int64(s.seq.Load())-int64(r.deq+1) < 0
 }
+
+// occupancy reports how many claimed slots the consumer has not yet
+// drained. Consumer-side health sample; the producer cursor counts
+// claimed-but-unpublished slots too, so the value can over-read by the
+// number of producers mid-publish (never under-read).
+// floc:hotpath
+func (r *ring) occupancy() int {
+	return int(r.enq.Load() - r.deq)
+}

@@ -2,11 +2,10 @@ package experiments
 
 import (
 	"bytes"
-	"reflect"
-	"sort"
+	"strings"
 	"testing"
 
-	"floc/internal/core"
+	"floc/internal/ledger"
 	"floc/internal/telemetry"
 )
 
@@ -14,7 +13,10 @@ import (
 // full FLoc attack run with the event trace enabled must emit an NDJSON
 // stream from which the per-domain admission counters, the aggregation
 // membership, and the final queue mode reconstruct *exactly* — the trace
-// is a faithful journal of the run, not a sampled approximation.
+// is a faithful journal of the run, not a sampled approximation. The
+// reconstruction itself is ledger.Replay/Diff, the same fold floctrace
+// uses on sealed evidence, so this test also pins the forensic tool to
+// the live router's semantics.
 func TestTraceReplayMatchesSnapshot(t *testing.T) {
 	skipIfShort(t)
 	sc := shortScenario(DefFLoc, AttackCBR)
@@ -46,105 +48,12 @@ func TestTraceReplayMatchesSnapshot(t *testing.T) {
 		t.Fatalf("round-trip lost events: %d decoded, %d in ring", len(events), tr.Len())
 	}
 
-	snap := m.FLocSnapshot
-
-	var admitted, dropped int64
-	admittedByPath := map[string]int64{}
-	droppedByPath := map[string]int64{}
-	dropsByReason := map[string]int64{}
-	member := map[string]string{} // origin path -> aggregate key
-	mode := core.ModeUncongested.String()
-	lastControlRun := 0.0
-	for _, e := range events {
-		switch e.Type {
-		case telemetry.EventPacketAdmitted:
-			admitted++
-			admittedByPath[e.Path]++
-		case telemetry.EventPacketDropped:
-			dropped++
-			droppedByPath[e.Path]++
-			dropsByReason[e.Reason]++
-		case telemetry.EventPathExpired:
-			// Expiry deletes the origin state: counters restart if the
-			// path reappears, and the next plan rebuild drops it from
-			// its aggregate without a release event.
-			delete(admittedByPath, e.Path)
-			delete(droppedByPath, e.Path)
-			delete(member, e.Path)
-		case telemetry.EventPathAggregated:
-			member[e.Path] = e.Agg
-		case telemetry.EventPathReleased:
-			if member[e.Path] == e.Agg {
-				delete(member, e.Path)
-			}
-		case telemetry.EventModeChanged:
-			mode = e.Mode
-		case telemetry.EventControlRunCompleted:
-			lastControlRun = e.Value
-		}
-	}
-
-	// Lifetime counters.
-	if admitted != snap.Admitted {
-		t.Errorf("replayed admitted = %d, snapshot %d", admitted, snap.Admitted)
-	}
-	if admitted+dropped != snap.Arrived {
-		t.Errorf("replayed arrived = %d, snapshot %d", admitted+dropped, snap.Arrived)
-	}
-	for reason, want := range snap.Drops {
-		if got := dropsByReason[reason]; got != want {
-			t.Errorf("replayed drops[%s] = %d, snapshot %d", reason, got, want)
-		}
-	}
-	for reason := range dropsByReason {
-		if _, ok := snap.Drops[reason]; !ok {
-			t.Errorf("replayed unknown drop reason %q", reason)
-		}
-	}
-
-	// Per-domain counters: every live path's tallies must match, and the
-	// replay must not have invented or retained extra domains.
-	snapPaths := map[string]bool{}
-	for _, p := range snap.Paths {
-		snapPaths[p.Key] = true
-		if got := admittedByPath[p.Key]; got != p.AdmittedPackets {
-			t.Errorf("path %s: replayed admitted = %d, snapshot %d", p.Key, got, p.AdmittedPackets)
-		}
-		if got := droppedByPath[p.Key]; got != p.DroppedPackets {
-			t.Errorf("path %s: replayed dropped = %d, snapshot %d", p.Key, got, p.DroppedPackets)
-		}
-	}
-	for key := range admittedByPath {
-		if !snapPaths[key] {
-			t.Errorf("replayed path %s absent from snapshot", key)
-		}
-	}
-	for key := range droppedByPath {
-		if !snapPaths[key] {
-			t.Errorf("replayed dropped-path %s absent from snapshot", key)
-		}
-	}
-
-	// Aggregation membership reconstructed from the transition events.
-	replayAggs := map[string][]string{}
-	for path, agg := range member {
-		replayAggs[agg] = append(replayAggs[agg], path)
-	}
-	for _, members := range replayAggs {
-		sort.Strings(members)
-	}
-	if len(replayAggs) == 0 {
+	res := ledger.Replay(events)
+	if len(res.Aggregates) == 0 {
 		t.Error("no aggregation transitions replayed despite SMax pressure")
 	}
-	if !reflect.DeepEqual(replayAggs, snap.Aggregates) {
-		t.Errorf("replayed aggregates = %v, snapshot %v", replayAggs, snap.Aggregates)
-	}
-
-	// Final mode and control-run count.
-	if mode != snap.Mode.String() {
-		t.Errorf("replayed mode = %s, snapshot %s", mode, snap.Mode)
-	}
-	if int(lastControlRun) != snap.ControlRuns {
-		t.Errorf("last ControlRunCompleted run = %v, snapshot %d", lastControlRun, snap.ControlRuns)
+	if diffs := res.Diff(m.FLocSnapshot); len(diffs) != 0 {
+		t.Errorf("replayed events do not reproduce the snapshot:\n  %s",
+			strings.Join(diffs, "\n  "))
 	}
 }

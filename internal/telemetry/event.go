@@ -97,7 +97,10 @@ func (t *EventType) UnmarshalJSON(b []byte) error {
 
 // Event is one decision record. The struct is flat and comparable so that
 // NDJSON round-trips can be checked with ==. Unused fields are omitted on
-// the wire.
+// the wire. The bytes json.Marshal produces for an Event are its
+// *canonical encoding*: the ledger hashes exactly those bytes, so field
+// order here is part of the evidence format (new fields append at the
+// end, omitempty, never reorder).
 type Event struct {
 	Time   float64   `json:"t"` //floc:unit seconds
 	Type   EventType `json:"type"`
@@ -107,15 +110,17 @@ type Event struct {
 	Reason string    `json:"reason,omitempty"` // drop reason label
 	Mode   string    `json:"mode,omitempty"`   // queue mode label
 	Value  float64   `json:"value,omitempty"`  // event-specific payload
+	Shard  uint32    `json:"shard,omitempty"`  // dataplane shard index (0 in single-router runs)
 }
 
 // Trace is a bounded ring buffer of events. Once full, the oldest events
 // are overwritten; Total and Overwritten report how much history was lost.
 // It is single-writer, like the simulator loop that feeds it.
 type Trace struct {
-	buf   []Event
-	next  int
-	total int64
+	buf     []Event
+	next    int
+	total   int64
+	dropped *Counter // optional wraparound-loss counter (nil = uncounted)
 }
 
 // NewTrace returns a trace holding at most capacity events (minimum 1).
@@ -126,12 +131,20 @@ func NewTrace(capacity int) *Trace {
 	return &Trace{buf: make([]Event, 0, capacity)}
 }
 
+// SetDropCounter attaches a counter that is incremented once per event
+// lost to ring wraparound, so bounded-trace losses surface on /metrics
+// (TraceDroppedMetric) instead of vanishing silently. Pass nil to detach.
+func (t *Trace) SetDropCounter(c *Counter) { t.dropped = c }
+
 // Add appends one event, overwriting the oldest if the ring is full.
 // floc:hotpath
 func (t *Trace) Add(e Event) {
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, e)
 	} else {
+		if t.dropped != nil {
+			t.dropped.Inc()
+		}
 		t.buf[t.next] = e
 		t.next++
 		if t.next == len(t.buf) {

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -148,14 +150,38 @@ type Registry struct {
 	families map[string]metricMeta
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns a registry pre-stamped with the build-info gauge.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		families: make(map[string]metricMeta),
 	}
+	r.stampBuildInfo()
+	return r
+}
+
+// stampBuildInfo registers the floc_build_info{version,go} identity
+// gauge (value always 1) so every /metrics scrape names the binary that
+// produced it. Version prefers the VCS revision over the module version
+// ("(devel)" for an un-tagged local build); both are constant for the
+// life of the process, so stamping at init keeps exposition text
+// deterministic within a run.
+func (r *Registry) stampBuildInfo() {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" {
+			version = v
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				version = s.Value[:12]
+			}
+		}
+	}
+	r.Gauge(`floc_build_info{version="`+version+`",go="`+runtime.Version()+`"}`,
+		"build identity of this binary; value is always 1", "").Set(1)
 }
 
 // family strips a trailing {label="..."} block from a series name.

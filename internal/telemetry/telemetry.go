@@ -1,5 +1,10 @@
 package telemetry
 
+// TraceDroppedMetric is the registry counter name for events lost to
+// trace-ring wraparound. It is registered wherever a bounded trace is
+// wired to a registry, so a clean run exports an explicit zero.
+const TraceDroppedMetric = "floc_trace_dropped_events_total"
+
 // Options configures a Telemetry instance.
 type Options struct {
 	// TraceCapacity is the event ring size; 0 disables the trace.
@@ -11,7 +16,17 @@ type Options struct {
 	Recorder bool
 }
 
-// Telemetry bundles the three observability surfaces. A nil *Telemetry is
+// EventSink receives a copy of every emitted event, in emission order.
+// It is the seam the forensic ledger plugs into: the bounded Trace ring
+// keeps a recent window in memory, while a sink can stream the full
+// event history somewhere durable. An implementation shared by several
+// emitters (e.g. the dataplane's shard routers) must be safe for
+// concurrent use; the Trace itself stays single-writer.
+type EventSink interface {
+	Emit(Event)
+}
+
+// Telemetry bundles the observability surfaces. A nil *Telemetry is
 // the disabled state: producers guard emission with
 // `if telemetry.Compiled && t != nil`, so a disabled pipeline takes a
 // single predictable branch and allocates nothing.
@@ -19,14 +34,18 @@ type Telemetry struct {
 	Registry *Registry
 	Trace    *Trace    // nil unless Options.TraceCapacity > 0
 	Recorder *Recorder // nil unless Options.Recorder
+	Sink     EventSink // nil unless an event stream consumer is attached
 }
 
 // New returns a Telemetry with a fresh registry and, per opts, a trace
-// ring and recorder.
+// ring and recorder. A trace created here counts its wraparound losses
+// on the registry's TraceDroppedMetric counter.
 func New(opts Options) *Telemetry {
 	t := &Telemetry{Registry: NewRegistry()}
 	if opts.TraceCapacity > 0 {
 		t.Trace = NewTrace(opts.TraceCapacity)
+		t.Trace.SetDropCounter(t.Registry.Counter(TraceDroppedMetric,
+			"events lost to trace ring wraparound", "events"))
 	}
 	if opts.Recorder {
 		t.Recorder = NewRecorder(opts.RecorderBinWidth)
@@ -34,13 +53,25 @@ func New(opts Options) *Telemetry {
 	return t
 }
 
-// Emit appends e to the trace if tracing is enabled. Safe on a nil
-// receiver and when the trace is disabled, so producers can call it
-// unconditionally off the hot path.
+// Emit hands e to the trace ring and the sink, whichever are enabled.
+// Safe on a nil receiver and with both disabled, so producers can call
+// it unconditionally off the hot path. The nil fast path must stay
+// inlinable — a disabled pipeline's whole budget is one predicted
+// branch — so everything past the receiver check lives in emit.
 // floc:hotpath
 func (t *Telemetry) Emit(e Event) {
-	if t == nil || t.Trace == nil {
+	if t == nil {
 		return
 	}
-	t.Trace.Add(e)
+	t.emit(e)
+}
+
+// floc:hotpath
+func (t *Telemetry) emit(e Event) {
+	if t.Trace != nil {
+		t.Trace.Add(e)
+	}
+	if t.Sink != nil {
+		t.Sink.Emit(e)
+	}
 }

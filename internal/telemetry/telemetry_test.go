@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+type collectSink struct{ events []Event }
+
+func (c *collectSink) Emit(e Event) { c.events = append(c.events, e) }
+
+func TestTraceDropCounterCountsWraparound(t *testing.T) {
+	tel := New(Options{TraceCapacity: 4})
+	for i := 0; i < 10; i++ {
+		tel.Emit(Event{Time: float64(i), Type: EventPacketAdmitted})
+	}
+	if got := tel.Registry.CounterValue(TraceDroppedMetric); got != 6 {
+		t.Fatalf("%s = %d, want 6 (10 events into a 4-slot ring)", TraceDroppedMetric, got)
+	}
+	if tel.Trace.Overwritten() != 6 {
+		t.Fatalf("Overwritten = %d, want 6", tel.Trace.Overwritten())
+	}
+}
+
+func TestTraceDropCounterExportsZeroWhenClean(t *testing.T) {
+	tel := New(Options{TraceCapacity: 16})
+	tel.Emit(Event{Type: EventPacketAdmitted})
+	var buf bytes.Buffer
+	if err := tel.Registry.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), TraceDroppedMetric+" 0") {
+		t.Fatalf("clean run must export an explicit zero drop counter:\n%s", buf.String())
+	}
+}
+
+func TestEmitForwardsToTraceAndSink(t *testing.T) {
+	sink := &collectSink{}
+	tel := New(Options{TraceCapacity: 8})
+	tel.Sink = sink
+	tel.Emit(Event{Type: EventPacketDropped, Reason: "no-token"})
+	if tel.Trace.Len() != 1 {
+		t.Fatalf("trace len = %d, want 1", tel.Trace.Len())
+	}
+	if len(sink.events) != 1 || sink.events[0].Reason != "no-token" {
+		t.Fatalf("sink got %+v", sink.events)
+	}
+}
+
+func TestEmitSafeWhenDisabled(t *testing.T) {
+	var tel *Telemetry
+	tel.Emit(Event{Type: EventPacketAdmitted}) // nil receiver: no-op
+
+	tel = New(Options{}) // no trace, no sink
+	tel.Emit(Event{Type: EventPacketAdmitted})
+	if tel.Trace != nil {
+		t.Fatal("zero TraceCapacity must leave the trace disabled")
+	}
+}
+
+func TestRegistryStampsBuildInfo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `floc_build_info{version="`) || !strings.Contains(out, `go="go`) {
+		t.Fatalf("registry must stamp floc_build_info with version and go labels:\n%s", out)
+	}
+}

@@ -35,6 +35,11 @@
 #                (1/2/4/8 shards); on a 4+ core runner the 4-shard
 #                aggregate throughput must be >= DATAPLANE_SPEEDUP x the
 #                1-shard figure (default 2.5)
+#   ledger-gate  end-to-end forensic loop: generate a capture, replay it
+#                through flocd with -ledger sealing on a sharded engine,
+#                then require floctrace verify (Merkle roots, record
+#                chain, inclusion proofs) and floctrace replay (sealed
+#                events fold to the claimed snapshot) to both pass
 #   perf-gate    scripts/bench-snapshot.sh to a scratch file, compared
 #                against the latest committed BENCH_*.json by cmd/perfgate;
 #                fails on any family more than PERF_REGRESSION_PCT percent
@@ -196,6 +201,23 @@ if [ "$DATAPLANE_SPEEDUP" != "0" ] && [ "$ncpu" -ge 4 ]; then
 else
     echo "   speedup gate skipped (cpus=$ncpu < 4 or DATAPLANE_SPEEDUP=0)" >&2
 fi
+end
+
+begin ledger-gate
+# The forensic loop, end to end through the real binaries: seal a replay,
+# then verify and replay the sealed evidence. Sealing rides inside the
+# telemetry budget because it only runs when -ledger is given and hashes
+# at control-run boundaries, never on the admission path (floclint's
+# hotpath rule enforces the latter statically).
+ledger_tmp=$(mktemp -d "${TMPDIR:-/tmp}/floc-ledger-XXXXXX")
+run go build -o "$ledger_tmp/flocd" ./cmd/flocd
+run go build -o "$ledger_tmp/floctrace" ./cmd/floctrace
+run "$ledger_tmp/flocd" -gen 20000 -out "$ledger_tmp/capture.ndjson"
+run "$ledger_tmp/flocd" -replay "$ledger_tmp/capture.ndjson" -shards 2 \
+    -trace 65536 -ledger "$ledger_tmp/ledger"
+run "$ledger_tmp/floctrace" verify -ledger "$ledger_tmp/ledger"
+run "$ledger_tmp/floctrace" replay -ledger "$ledger_tmp/ledger"
+rm -rf "$ledger_tmp"
 end
 
 PERF_REGRESSION_PCT="${PERF_REGRESSION_PCT:-10}"
