@@ -32,8 +32,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
+	"sync"
 	"time"
 
+	"floc/internal/cluster"
 	"floc/internal/core"
 	"floc/internal/dataplane"
 	"floc/internal/ledger"
@@ -62,6 +65,13 @@ type options struct {
 	ledger   string
 	traceCap int
 	pprof    bool
+
+	routerID uint
+	control  string
+	peers    string
+	forward  string
+	sendto   string
+	pace     float64 //floc:unit ratio
 }
 
 func main() {
@@ -82,6 +92,12 @@ func main() {
 	flag.StringVar(&o.ledger, "ledger", "", "directory to seal the forensic event ledger into (must not hold one already)")
 	flag.IntVar(&o.traceCap, "trace", 65536, "per-shard event-trace ring capacity (0 = off; losses count on "+telemetry.TraceDroppedMetric+")")
 	flag.BoolVar(&o.pprof, "pprof", false, "also serve net/http/pprof on the -metrics listener")
+	flag.UintVar(&o.routerID, "router-id", 0, "this daemon's cluster router ID (nonzero enables the control plane)")
+	flag.StringVar(&o.control, "control", "", "UDP address to receive cluster control frames on")
+	flag.StringVar(&o.peers, "peers", "", "comma-separated upstream control addresses to push feedback to")
+	flag.StringVar(&o.forward, "forward", "", "UDP data address to forward transmitted packets to (the next hop's -listen)")
+	flag.StringVar(&o.sendto, "sendto", "", "transmit the -replay capture as live datagrams to this UDP address instead of replaying locally")
+	flag.Float64Var(&o.pace, "pace", 1.0, "-sendto time scale: real seconds per capture second (0 = no pacing)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "flocd:", err)
@@ -102,8 +118,29 @@ func run(o options) error {
 		}
 		return generateCapture(w, o.gen, o.seed)
 	}
+	if o.sendto != "" {
+		if o.replay == "" {
+			return fmt.Errorf("-sendto requires -replay (the capture to transmit)")
+		}
+		f, err := os.Open(o.replay)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return sendCapture(f, o.sendto, o.pace)
+	}
 	if (o.listen == "") == (o.replay == "") {
 		return fmt.Errorf("exactly one of -listen or -replay is required (or -gen)")
+	}
+	if (o.control != "" || o.peers != "") && o.routerID == 0 {
+		return fmt.Errorf("-control and -peers require -router-id")
+	}
+	if o.routerID != 0 && o.listen == "" {
+		return fmt.Errorf("cluster mode (-router-id) requires -listen")
+	}
+	var peers []string
+	if o.peers != "" {
+		peers = strings.Split(o.peers, ",")
 	}
 
 	reg := telemetry.NewRegistry()
@@ -117,6 +154,15 @@ func run(o options) error {
 		sealer = s
 		sink = s
 	}
+	var egress dataplane.PacketSink
+	if o.forward != "" {
+		fwd, err := newUDPForwarder(o.forward)
+		if err != nil {
+			return err
+		}
+		defer fwd.Close()
+		egress = fwd
+	}
 	rc := core.DefaultConfig(o.linkRate, o.capacity)
 	rc.Seed = o.seed
 	engine, err := dataplane.New(dataplane.Config{
@@ -128,6 +174,7 @@ func run(o options) error {
 		Telemetry:     reg,
 		TraceCapacity: o.traceCap,
 		Sink:          sink,
+		Egress:        egress,
 	})
 	if err != nil {
 		if sealer != nil {
@@ -136,9 +183,41 @@ func run(o options) error {
 		return err
 	}
 
+	// The daemon's arrival clock: every live timestamp — packet arrivals,
+	// control frames, limit leases, health ages — is seconds since this
+	// instant, so the clocks of all the daemon's surfaces agree.
+	//floclint:allow sim-time the live daemon anchors its arrival clock at startup
+	start := time.Now()
+
+	var node *cluster.Node
+	if o.routerID != 0 {
+		tr := &udpTransport{}
+		defer tr.Close()
+		node, err = cluster.New(cluster.Config{
+			RouterID:   uint32(o.routerID),
+			Peers:      peers,
+			Transport:  tr,
+			Installer:  engine,
+			PacketSize: rc.PacketSize,
+			Telemetry:  reg,
+		})
+		if err != nil {
+			return err
+		}
+		if o.control != "" {
+			cconn, err := net.ListenPacket("udp", o.control)
+			if err != nil {
+				return err
+			}
+			defer cconn.Close()
+			go serveControl(cconn, node, start)
+			fmt.Fprintf(os.Stderr, "flocd: control on %s, router %d, %d peers\n",
+				cconn.LocalAddr(), o.routerID, len(peers))
+		}
+	}
+
 	if o.metrics != "" {
-		//floclint:allow sim-time the health surface reports real daemon uptime
-		h := &health{engine: engine, reg: reg, start: time.Now()}
+		h := &health{engine: engine, reg: reg, node: node, start: start}
 		srv := &http.Server{Addr: o.metrics, Handler: serveMux(reg, h, o.pprof)}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -181,8 +260,16 @@ func run(o options) error {
 		<-stop
 		conn.Close() // unblocks the read loop
 	}()
-	if err := serveUDP(conn, engine); err != nil {
+	var stopLoop chan struct{}
+	if node != nil {
+		stopLoop = make(chan struct{})
+		go clusterLoop(node, engine, start, stopLoop)
+	}
+	if err := serveUDP(conn, engine, start); err != nil {
 		return err
+	}
+	if stopLoop != nil {
+		close(stopLoop) // quiesce the control loop before draining the engine
 	}
 	snap := finish(engine, reg, o.snapshot, o.printMet)
 	return sealLedger(sealer, o.ledger, snap)
@@ -227,26 +314,45 @@ func sealLedger(sealer *ledger.Sealer, dir string, snap core.Snapshot) error {
 }
 
 // health serves /healthz: a small JSON liveness document summarizing the
-// dataplane since start, cheap enough for a tight probe interval.
+// dataplane since start, cheap enough for a tight probe interval. When
+// the daemon is clustered, a cluster block reports the control plane's
+// receive state: which origins are feeding it, how stale each one is,
+// and how many limits are currently installed.
 type health struct {
 	engine *dataplane.Engine
 	reg    *telemetry.Registry
+	node   *cluster.Node
 	start  time.Time
+}
+
+// clusterHealth is the /healthz cluster block: the node's protocol state
+// plus the dataplane's installed-limit count.
+type clusterHealth struct {
+	cluster.Health
+	InstalledLimits int `json:"installed_limits"`
 }
 
 func (h *health) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	st := h.engine.Stats()
 	//floclint:allow sim-time the health surface reports real daemon uptime
-	up := time.Since(h.start).Seconds()
+	up := time.Since(h.start).Seconds() //floc:unit seconds
+	var cb *clusterHealth
+	if h.node != nil {
+		cb = &clusterHealth{
+			Health:          h.node.Health(up),
+			InstalledLimits: h.engine.InstalledLimits(),
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(struct {
-		Status        string  `json:"status"`
-		UptimeSeconds float64 `json:"uptime_seconds"`
-		Shards        int     `json:"shards"`
-		Accepted      int64   `json:"accepted"`
-		Processed     int64   `json:"processed"`
-		RingDrops     int64   `json:"ring_drops"`
-		TraceDropped  int64   `json:"trace_dropped_events"`
+		Status        string         `json:"status"`
+		UptimeSeconds float64        `json:"uptime_seconds"`
+		Shards        int            `json:"shards"`
+		Accepted      int64          `json:"accepted"`
+		Processed     int64          `json:"processed"`
+		RingDrops     int64          `json:"ring_drops"`
+		TraceDropped  int64          `json:"trace_dropped_events"`
+		Cluster       *clusterHealth `json:"cluster,omitempty"`
 	}{
 		Status:        "ok",
 		UptimeSeconds: up,
@@ -255,6 +361,7 @@ func (h *health) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 		Processed:     st.Processed,
 		RingDrops:     st.RingDrops,
 		TraceDropped:  h.reg.CounterValue(telemetry.TraceDroppedMetric),
+		Cluster:       cb,
 	})
 }
 
@@ -336,12 +443,10 @@ func publishMalformed(reg *telemetry.Registry, byKind [wire.NumErrorKinds]int64)
 // closed. Arrival times are wall-clock seconds since the first datagram:
 // the daemon is the one place the repo meets real time, so the sim-time
 // ban is lifted locally.
-func serveUDP(conn net.PacketConn, e *dataplane.Engine) error {
+func serveUDP(conn net.PacketConn, e *dataplane.Engine, start time.Time) error {
 	buf := make([]byte, 65536) //floc:untrusted
 	in := wire.NewInterner()
 	var h wire.Header
-	//floclint:allow sim-time live dataplane stamps arrivals from the wall clock
-	start := time.Now()
 	id := uint64(0)
 	for {
 		n, _, err := conn.ReadFrom(buf)
@@ -367,6 +472,171 @@ func serveUDP(conn net.PacketConn, e *dataplane.Engine) error {
 		//floclint:allow sim-time live dataplane stamps arrivals from the wall clock
 		e.Enqueue(pkt, time.Since(start).Seconds())
 	}
+}
+
+// udpTransport carries cluster control frames: it dials each peer once,
+// caches the connected socket, and writes one frame per datagram.
+// cluster.Node serializes sends under its own lock, but the transport
+// locks anyway so it stays safe if that ever changes.
+type udpTransport struct {
+	mu    sync.Mutex
+	conns map[string]net.Conn
+}
+
+func (t *udpTransport) Send(peer string, frame []byte) error {
+	t.mu.Lock()
+	conn := t.conns[peer]
+	if conn == nil {
+		c, err := net.Dial("udp", peer)
+		if err != nil {
+			t.mu.Unlock()
+			return err
+		}
+		if t.conns == nil {
+			t.conns = map[string]net.Conn{}
+		}
+		t.conns[peer] = c
+		conn = c
+	}
+	t.mu.Unlock()
+	_, err := conn.Write(frame)
+	return err
+}
+
+func (t *udpTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, c := range t.conns {
+		c.Close()
+	}
+}
+
+// udpForwarder is the dataplane egress sink for a chained deployment:
+// every packet the router transmits is re-encoded as a wire header and
+// forwarded to the next hop's data port, so one daemon's egress becomes
+// another's ingress (the multi-router tree of the cluster harness).
+type udpForwarder struct {
+	mu   sync.Mutex
+	conn net.Conn
+	buf  []byte
+}
+
+func newUDPForwarder(addr string) (*udpForwarder, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &udpForwarder{conn: conn, buf: make([]byte, 0, wire.MaxEncodedLen)}, nil
+}
+
+// Emit implements dataplane.PacketSink. Shard workers call it
+// concurrently; the mutex serializes the shared encode buffer and the
+// socket. Encode and send failures are dropped silently — a forwarding
+// daemon must never stall its own transmit loop on the next hop.
+// floc:unit now seconds
+func (f *udpForwarder) Emit(pkt *netsim.Packet, now float64) {
+	var h wire.Header
+	if err := wire.FromPacket(&h, pkt); err != nil {
+		return
+	}
+	f.mu.Lock()
+	if b, err := wire.MarshalAppend(f.buf[:0], &h); err == nil {
+		f.buf = b
+		_, _ = f.conn.Write(b)
+	}
+	f.mu.Unlock()
+}
+
+func (f *udpForwarder) Close() { _ = f.conn.Close() }
+
+// serveControl feeds received control frames into the cluster node,
+// stamped on the daemon's shared arrival clock. Undecodable frames are
+// dropped by HandleFrame; a closed socket ends the loop.
+func serveControl(conn net.PacketConn, node *cluster.Node, start time.Time) {
+	buf := make([]byte, wire.MaxControlEncodedLen+1) //floc:untrusted
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		//floclint:allow sim-time live control plane stamps arrivals from the wall clock
+		now := time.Since(start).Seconds() //floc:unit seconds
+		//floclint:allow taint ReadFrom returns n <= len(buf) by the PacketConn contract; the frame itself is vetted by DecodeControl
+		_, _ = node.HandleFrame(buf[:n], now)
+	}
+}
+
+// clusterLoop drives the node's periodic duties on the arrival clock:
+// publish fresh feedback derived from the engine snapshot, retransmit
+// pending frames, and sweep expired limit leases.
+func clusterLoop(node *cluster.Node, e *dataplane.Engine, start time.Time, stop <-chan struct{}) {
+	//floclint:allow sim-time the live control loop paces itself on the wall clock
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		//floclint:allow sim-time live control plane stamps publishes from the wall clock
+		now := time.Since(start).Seconds() //floc:unit seconds
+		node.Publish(e.Snapshot(), now)
+		node.Tick(now)
+		e.SweepLimits(now)
+	}
+}
+
+// sendCapture transmits a capture to a daemon's data port as one UDP
+// datagram per packet, paced by the capture timestamps scaled by pace
+// (real seconds per capture second; 0 disables pacing). This is the
+// traffic source of the cluster harness: -gen writes the capture, one
+// flocd sends it live, the daemon tree defends against it.
+func sendCapture(r io.Reader, addr string, pace float64) error {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	cr := wire.NewCaptureReader(bufio.NewReader(r))
+	cr.SkipMalformed(true)
+	var h wire.Header
+	buf := make([]byte, 0, wire.MaxEncodedLen)
+	//floclint:allow sim-time the paced sender replays capture time on the wall clock
+	start := time.Now()
+	sent := 0
+	for {
+		t, err := cr.Next(&h)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if pace > 0 {
+			due := time.Duration(t * pace * float64(time.Second))
+			//floclint:allow sim-time the paced sender replays capture time on the wall clock
+			if d := due - time.Since(start); d > 0 {
+				//floclint:allow sim-time the paced sender replays capture time on the wall clock
+				time.Sleep(d)
+			}
+		}
+		b, err := wire.MarshalAppend(buf[:0], &h)
+		if err != nil {
+			continue
+		}
+		buf = b
+		if _, err := conn.Write(b); err != nil {
+			return err
+		}
+		sent++
+	}
+	fmt.Fprintf(os.Stderr, "flocd: sent %d packets to %s (%d malformed lines skipped)\n",
+		sent, addr, cr.Malformed())
+	return nil
 }
 
 // generateCapture writes a deterministic synthetic capture: nPaths

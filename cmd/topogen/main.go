@@ -1,27 +1,46 @@
 // Command topogen generates and summarizes the evaluation topologies:
-// the functional tree of Fig. 5 and the synthetic Internet-scale AS
-// topologies rendered in Figs. 11 and 12.
+// the functional tree of Fig. 5, the synthetic Internet-scale AS
+// topologies rendered in Figs. 11 and 12, and the 3-node flocd cluster
+// plan the cluster gate (scripts/check.sh) brings up on loopback.
 //
 // Usage:
 //
 //	topogen -kind tree
 //	topogen -kind inet [-attack-ases 300] [-separated]
+//	topogen -kind cluster [-base-port 19100]
+//	topogen -probe http://127.0.0.1:19301/healthz
+//
+// -probe fetches one HTTP URL and prints the body, exiting nonzero on
+// connection failure or a non-2xx status: a dependency-free curl stand-in
+// so the shell harness can scrape /metrics and /healthz portably.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 
 	"floc"
 )
 
 func main() {
-	kind := flag.String("kind", "inet", "topology kind: tree or inet")
+	kind := flag.String("kind", "inet", "topology kind: tree, inet, or cluster")
 	attackASes := flag.Int("attack-ases", 100, "attacker dispersion (inet)")
 	separated := flag.Bool("separated", false, "separate legitimate from attack ASes (inet)")
 	seed := flag.Uint64("seed", 42, "random seed")
+	basePort := flag.Int("base-port", 19100, "first port of the cluster plan's port block")
+	probe := flag.String("probe", "", "fetch this HTTP URL, print the body, and exit (harness helper)")
 	flag.Parse()
+
+	if *probe != "" {
+		if err := probeURL(*probe); err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	switch *kind {
 	case "tree":
@@ -33,6 +52,8 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(table.String())
+	case "cluster":
+		printClusterPlan(*basePort)
 	default:
 		fmt.Fprintf(os.Stderr, "topogen: unknown kind %q\n", *kind)
 		os.Exit(2)
@@ -52,4 +73,48 @@ func printTree(seed uint64) {
 	for i, p := range tree.LeafPaths {
 		fmt.Printf("leaf %02d\tpath %s\n", i, p)
 	}
+}
+
+// printClusterPlan emits the 3-tier flocd chain as ready-to-run commands:
+// traffic enters at the leaf, is forwarded hop by hop to the root whose
+// link is the bottleneck, and pushback feedback flows the opposite way
+// (root originates to mid, mid applies and relays to leaf). Ports are
+// laid out as base+1..3 data, base+101..103 control, base+201..203
+// metrics, matching the cluster gate in scripts/check.sh.
+func printClusterPlan(base int) {
+	d1, d2, d3 := base+1, base+2, base+3
+	c1, c2 := base+101, base+102
+	m1, m2, m3 := base+201, base+202, base+203
+	fmt.Printf(`# 3-node flocd cluster plan (loopback); start root-first so control
+# listeners exist before feedback flows. Data: leaf -> mid -> root;
+# feedback: root -> mid -> leaf.
+flocd -listen 127.0.0.1:%d -router-id 3 -peers 127.0.0.1:%d -link 20e6 -metrics 127.0.0.1:%d &
+flocd -listen 127.0.0.1:%d -router-id 2 -control 127.0.0.1:%d -peers 127.0.0.1:%d -forward 127.0.0.1:%d -link 100e6 -metrics 127.0.0.1:%d &
+flocd -listen 127.0.0.1:%d -router-id 1 -control 127.0.0.1:%d -forward 127.0.0.1:%d -link 100e6 -metrics 127.0.0.1:%d &
+flocd -gen 64000 -out capture.ndjson
+flocd -replay capture.ndjson -sendto 127.0.0.1:%d -pace 0.3
+topogen -probe http://127.0.0.1:%d/healthz
+`,
+		d3, c2, m3,
+		d2, c2, c1, d3, m2,
+		d1, c1, d2, m1,
+		d1,
+		m1)
+}
+
+// probeURL fetches url and streams the body to stdout; a non-2xx status
+// is an error so shell harnesses can branch on the exit code.
+func probeURL(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("%s: status %s", url, resp.Status)
+	}
+	return nil
 }

@@ -32,11 +32,25 @@ import (
 	"time"
 
 	"floc/internal/core"
+	"floc/internal/defense"
 	"floc/internal/invariant"
 	"floc/internal/netsim"
 	"floc/internal/pathid"
 	"floc/internal/telemetry"
+	"floc/internal/units"
 )
+
+// PacketSink receives packets the virtual transmitter has finished
+// sending — the engine's egress seam. A daemon forwarding traffic to a
+// downstream flocd implements it with a socket writer. Each shard calls
+// its sink from its own worker goroutine; implementations shared across
+// shards must be safe for concurrent use.
+type PacketSink interface {
+	// Emit is called once per transmitted packet with the virtual time
+	// the transmission completed.
+	// floc:unit now seconds
+	Emit(pkt *netsim.Packet, now float64)
+}
 
 // Config parameterizes an Engine.
 type Config struct {
@@ -78,6 +92,11 @@ type Config struct {
 	// workers concurrently and must be safe for concurrent use. Requires
 	// Telemetry.
 	Sink telemetry.EventSink
+	// Egress, when non-nil, receives every packet the shard transmitters
+	// finish sending — the seam a multi-router deployment uses to forward
+	// admitted traffic to the next flocd hop. Shared by all shard workers
+	// concurrently; must be safe for concurrent use.
+	Egress PacketSink
 }
 
 // withDefaults resolves zero values.
@@ -123,6 +142,9 @@ type Stats struct {
 	RingDrops int64 //floc:unit packets
 	// Processed counts packets the workers ran through admission.
 	Processed int64 //floc:unit packets
+	// LimitDrops counts packets dropped by cluster-installed per-path
+	// limits before they reached router admission.
+	LimitDrops int64 //floc:unit packets
 }
 
 // seedStride separates shard RNG streams (64-bit golden ratio, odd).
@@ -177,6 +199,13 @@ type shard struct {
 	processed atomic.Int64
 	dropCtr   *telemetry.Counter // nil when telemetry is off
 
+	// Cluster limit surface: installed-limit count and limiter drops,
+	// published by the worker for lock-free external reads.
+	limitCount   atomic.Int64
+	limitDrops   atomic.Int64
+	limitDropCtr *telemetry.Counter // nil when telemetry is off
+	limitGauge   *telemetry.Gauge   // nil when telemetry is off
+
 	// Health surface (nil when telemetry is off): batch admission wall-
 	// clock latency and ring occupancy sampled after each drained batch.
 	latHist  *telemetry.Histogram
@@ -185,8 +214,11 @@ type shard struct {
 	// Worker-owned state below; never touched by producers.
 	buf       []item
 	bi        []core.BatchItem
-	free      float64 //floc:unit seconds
-	rateBytes float64 //floc:unit bytes/s
+	free      float64              //floc:unit seconds
+	rateBytes float64              //floc:unit bytes/s
+	egress    PacketSink           // nil = no forwarding
+	bank      *defense.LimiterBank // nil until the first limit install
+	bankDrops int                  // bank.Drops() last published to counters
 }
 
 // cmdKind discriminates shard control commands; every kind a controller
@@ -200,6 +232,8 @@ const (
 	cmdAdvance
 	cmdSnapshot
 	cmdIntern
+	cmdLimit
+	cmdSweep
 )
 
 type command struct {
@@ -209,6 +243,12 @@ type command struct {
 	snap   chan core.Snapshot
 	handle chan uint32
 	done   chan struct{}
+
+	// cmdLimit payload.
+	rate    units.BitsPerSec
+	expires float64 //floc:unit seconds (0 = no expiry)
+	peer    uint32  // advertising router ID, for the trace event
+	ok      chan bool
 }
 
 // New builds an engine and starts its workers.
@@ -271,7 +311,14 @@ func New(cfg Config) (*Engine, error) {
 				fmt.Sprintf(`floc_dataplane_admission_batch_seconds{shard="%d"}`, i),
 				"wall-clock time to admit one drained batch", "seconds",
 				admissionLatencyBounds)
+			sh.limitDropCtr = cfg.Telemetry.Counter(
+				fmt.Sprintf(`floc_cluster_limit_dropped_total{shard="%d"}`, i),
+				"packets dropped by cluster-installed path limits", "packets")
+			sh.limitGauge = cfg.Telemetry.Gauge(
+				fmt.Sprintf(`floc_cluster_installed_limits{shard="%d"}`, i),
+				"active cluster-installed path limits", "")
 		}
+		sh.egress = cfg.Egress
 		e.shards[i] = sh
 	}
 	for _, sh := range e.shards {
@@ -415,10 +462,32 @@ func (sh *shard) process(items []item) {
 	}
 	sh.serve(items[0].at)
 	sh.bi = sh.bi[:0]
-	for i := range items {
-		sh.bi = append(sh.bi, core.BatchItem{Pkt: items[i].pkt, At: items[i].at})
+	if sh.bank == nil {
+		for i := range items {
+			sh.bi = append(sh.bi, core.BatchItem{Pkt: items[i].pkt, At: items[i].at})
+		}
+	} else {
+		// Cluster-installed limits gate admission: a path over its
+		// propagated budget is dropped here, before it spends any router
+		// buffer — the upstream half of the pushback contract.
+		for i := range items {
+			if !sh.bank.Admit(items[i].pkt.PathHandle, items[i].pkt, items[i].at) {
+				continue
+			}
+			sh.bi = append(sh.bi, core.BatchItem{Pkt: items[i].pkt, At: items[i].at})
+		}
+		if d := sh.bank.Drops(); d != sh.bankDrops {
+			delta := int64(d - sh.bankDrops)
+			sh.bankDrops = d
+			sh.limitDrops.Add(delta)
+			if sh.limitDropCtr != nil {
+				sh.limitDropCtr.Add(delta)
+			}
+		}
 	}
-	sh.router.EnqueueBatch(sh.bi)
+	if len(sh.bi) > 0 {
+		sh.router.EnqueueBatch(sh.bi)
+	}
 	sh.processed.Add(int64(len(items)))
 	if sh.latHist != nil {
 		sh.latHist.Observe(time.Since(start).Seconds()) //floclint:allow sim-time wall-clock batch latency is exactly what the health histogram measures
@@ -438,6 +507,9 @@ func (sh *shard) serve(now float64) {
 			return
 		}
 		sh.free += float64(pkt.Size) / sh.rateBytes
+		if sh.egress != nil {
+			sh.egress.Emit(pkt, sh.free)
+		}
 	}
 }
 
@@ -467,6 +539,57 @@ func (sh *shard) handle(c command) {
 		c.snap <- sh.router.Snapshot()
 	case cmdIntern:
 		c.handle <- sh.router.InternPath(c.path)
+	case cmdLimit:
+		c.ok <- sh.installLimit(c)
+	case cmdSweep:
+		if sh.bank != nil {
+			sh.bank.Sweep(c.now)
+			sh.publishLimitCount()
+		}
+		close(c.done)
+	}
+}
+
+// installLimit executes a cmdLimit barrier in worker context: intern the
+// path on this shard's router (so the handle matches the one producers
+// stamp into packets), install or release the limit, and emit the
+// FeedbackApplied trace event from the worker — the shard trace is
+// single-writer, so the event must not be added from the caller's
+// goroutine.
+func (sh *shard) installLimit(c command) bool {
+	handle := sh.router.InternPath(c.path)
+	if handle == 0 && len(c.path) > 0 {
+		return false // handle space exhausted
+	}
+	if sh.bank == nil {
+		if c.rate <= 0 {
+			return true // releasing a limit that was never installed
+		}
+		sh.bank = defense.NewLimiterBank()
+	}
+	sh.bank.Install(handle, c.rate, c.expires)
+	sh.bankDrops = sh.bank.Drops()
+	sh.publishLimitCount()
+	if telemetry.Compiled {
+		if tel := sh.router.Telemetry(); tel != nil {
+			tel.Emit(telemetry.Event{
+				Time:  c.now,
+				Type:  telemetry.EventFeedbackApplied,
+				Path:  c.path.Key(),
+				Value: float64(c.rate),
+				Peer:  c.peer,
+			})
+		}
+	}
+	return true
+}
+
+// publishLimitCount refreshes the shard's installed-limit surface.
+func (sh *shard) publishLimitCount() {
+	n := int64(sh.bank.Active())
+	sh.limitCount.Store(n)
+	if sh.limitGauge != nil {
+		sh.limitGauge.Set(float64(n))
 	}
 }
 
@@ -486,6 +609,65 @@ func (e *Engine) InternPath(path pathid.PathID) uint32 {
 	reply := make(chan uint32, 1)
 	sh.cmds <- command{kind: cmdIntern, path: path, handle: reply}
 	return <-reply
+}
+
+// InstallLimit installs (rate > 0) or releases (rate <= 0) a per-path
+// rate limit on the shard that owns path, ahead of router admission —
+// the application point for a cluster peer's congestion feedback.
+// expiresAt is the arrival-clock deadline after which the limit lapses
+// unless refreshed (0 = never); peer tags the FeedbackApplied trace
+// event with the advertising router's ID; now stamps that event. The
+// command is a barrier on the owning shard: packets enqueued
+// happens-before the call are admitted under the old limit. Returns
+// false when the engine is closed, the path is empty, or the shard
+// router's handle space is exhausted. Cold: called per feedback record,
+// never per packet.
+// floc:unit expiresAt seconds
+// floc:unit now seconds
+func (e *Engine) InstallLimit(path pathid.PathID, rate units.BitsPerSec, expiresAt float64, peer uint32, now float64) bool {
+	if len(path) == 0 {
+		return false
+	}
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	if e.closed.Load() {
+		return false
+	}
+	sh := e.shards[pathShard(path, len(e.shards))]
+	reply := make(chan bool, 1)
+	sh.cmds <- command{kind: cmdLimit, path: path, rate: rate, expires: expiresAt, peer: peer, now: now, ok: reply}
+	return <-reply
+}
+
+// SweepLimits reaps expired cluster limits on every shard so the
+// installed-limit gauge tracks lease expiry even on idle paths. Call
+// periodically from the daemon's tick loop.
+// floc:unit now seconds
+func (e *Engine) SweepLimits(now float64) {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	if e.closed.Load() {
+		return
+	}
+	dones := make([]chan struct{}, len(e.shards))
+	for i, sh := range e.shards {
+		dones[i] = make(chan struct{})
+		sh.cmds <- command{kind: cmdSweep, now: now, done: dones[i]}
+	}
+	for _, d := range dones {
+		<-d
+	}
+}
+
+// InstalledLimits returns the engine-wide count of active cluster
+// limits, as last published by the shard workers. Lock-free; safe to
+// call from health handlers.
+func (e *Engine) InstalledLimits() int {
+	n := 0
+	for _, sh := range e.shards {
+		n += int(sh.limitCount.Load())
+	}
+	return n
 }
 
 // Drain blocks until every packet enqueued happens-before the call has
@@ -594,6 +776,7 @@ func (e *Engine) Stats() Stats {
 		s.Accepted += sh.accepted.Load()
 		s.RingDrops += sh.ringDrops.Load()
 		s.Processed += sh.processed.Load()
+		s.LimitDrops += sh.limitDrops.Load()
 	}
 	return s
 }

@@ -1,0 +1,141 @@
+package defense
+
+import (
+	"testing"
+
+	"floc/internal/netsim"
+	"floc/internal/units"
+)
+
+func bankPkt(size int) *netsim.Packet {
+	return &netsim.Packet{Size: size}
+}
+
+func TestBankNoLimitPasses(t *testing.T) {
+	b := NewLimiterBank()
+	if !b.Admit(0, bankPkt(1500), 0) {
+		t.Fatal("handle 0 must always pass")
+	}
+	if !b.Admit(7, bankPkt(1500), 0) {
+		t.Fatal("handle with no limit must pass")
+	}
+	if b.Active() != 0 || b.Drops() != 0 {
+		t.Fatalf("Active=%d Drops=%d, want 0/0", b.Active(), b.Drops())
+	}
+}
+
+func TestBankLimitEnforced(t *testing.T) {
+	b := NewLimiterBank()
+	// 1 Mb/s with a 0.1 s burst window: 100 kb of burst ≈ 8 full-size
+	// packets, then ~1 packet per 12 ms of arrival time.
+	b.Install(3, 1_000_000, 0)
+	if b.Active() != 1 {
+		t.Fatalf("Active = %d, want 1", b.Active())
+	}
+	admitted, dropped := 0, 0
+	for i := 0; i < 100; i++ {
+		if b.Admit(3, bankPkt(1500), 0.001*float64(i)) {
+			admitted++
+		} else {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("offered 12 Mb/s against a 1 Mb/s limit, nothing dropped")
+	}
+	if admitted == 0 {
+		t.Fatal("burst allowance should admit some packets")
+	}
+	if b.Drops() != dropped {
+		t.Fatalf("Drops() = %d, want %d", b.Drops(), dropped)
+	}
+	// Unrelated handle is untouched.
+	if !b.Admit(4, bankPkt(1500), 0.05) {
+		t.Fatal("other handle must pass")
+	}
+}
+
+func TestBankReleaseAndReinstall(t *testing.T) {
+	b := NewLimiterBank()
+	b.Install(3, 1_000_000, 0)
+	b.Install(3, 0, 0) // release
+	if b.Active() != 0 {
+		t.Fatalf("Active = %d after release, want 0", b.Active())
+	}
+	if !b.Admit(3, bankPkt(1500), 0) {
+		t.Fatal("released handle must pass")
+	}
+	b.Install(3, 2_000_000, 0)
+	if got := b.Rate(3, 0); got != units.BitsPerSec(2_000_000) {
+		t.Fatalf("Rate = %v, want 2e6", got)
+	}
+}
+
+func TestBankLazyExpiry(t *testing.T) {
+	b := NewLimiterBank()
+	b.Install(5, 1, 2.0) // 1 bit/s: drops everything after the seed burst
+	for i := 0; i < 4; i++ {
+		b.Admit(5, bankPkt(1500), 1.0)
+	}
+	if b.Drops() == 0 {
+		t.Fatal("1 bit/s limit should drop full-size packets")
+	}
+	if !b.Admit(5, bankPkt(1500), 2.5) {
+		t.Fatal("expired limit must pass")
+	}
+	if b.Active() != 0 {
+		t.Fatalf("Active = %d after lazy expiry, want 0", b.Active())
+	}
+	if got := b.Rate(5, 2.5); got != 0 {
+		t.Fatalf("Rate after expiry = %v, want 0", got)
+	}
+}
+
+func TestBankSweep(t *testing.T) {
+	b := NewLimiterBank()
+	b.Install(1, 1_000_000, 1.0)
+	b.Install(2, 1_000_000, 5.0)
+	b.Install(3, 1_000_000, 0) // no expiry
+	if got := b.Sweep(2.0); got != 1 {
+		t.Fatalf("Sweep removed %d, want 1", got)
+	}
+	if b.Active() != 2 {
+		t.Fatalf("Active = %d after sweep, want 2", b.Active())
+	}
+	if got := b.Sweep(10.0); got != 1 {
+		t.Fatalf("second Sweep removed %d, want 1", got)
+	}
+	if b.Active() != 1 {
+		t.Fatalf("Active = %d, want 1 (the no-expiry entry)", b.Active())
+	}
+}
+
+func TestBankRefreshExtendsLease(t *testing.T) {
+	b := NewLimiterBank()
+	b.Install(9, 1_000_000, 1.0)
+	b.Install(9, 1_000_000, 3.0) // refresh before expiry
+	if !b.Admit(9, bankPkt(100), 2.0) {
+		t.Fatal("refreshed limit should still be live (and admit within burst)")
+	}
+	if b.Active() != 1 {
+		t.Fatalf("Active = %d, want 1", b.Active())
+	}
+	if got := b.Sweep(2.0); got != 0 {
+		t.Fatalf("Sweep removed %d, want 0", got)
+	}
+}
+
+func TestZeroAllocBankAdmit(t *testing.T) {
+	b := NewLimiterBank()
+	b.Install(3, 100_000_000, 0)
+	pkt := bankPkt(100)
+	now := 0.0
+	if avg := testing.AllocsPerRun(200, func() {
+		now += 0.001
+		b.Admit(3, pkt, now)
+		b.Admit(0, pkt, now)
+		b.Admit(99, pkt, now)
+	}); avg != 0 {
+		t.Fatalf("Admit allocates %.1f times per op, want 0", avg)
+	}
+}

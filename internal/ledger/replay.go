@@ -89,6 +89,11 @@ func Replay(events []telemetry.Event) *ReplayResult {
 		case telemetry.EventFlowClassifiedAttack:
 			// Flow-level accusations carry no snapshot counterpart to
 			// reconcile; they stand on their own inclusion proofs.
+		case telemetry.EventFeedbackApplied:
+			// Cluster limit installs gate admission *before* the router,
+			// so they change no router counter the snapshot records; the
+			// drops they cause never reach the router at all. Folded as a
+			// no-op to keep replay-equals-snapshot exact.
 		}
 	}
 	res.Arrived = res.Admitted + res.Dropped

@@ -35,6 +35,11 @@ const (
 	// EventControlRunCompleted: one control-loop run finished; Value
 	// carries the cumulative run count.
 	EventControlRunCompleted
+	// EventFeedbackApplied: a cluster peer's congestion-feedback record
+	// was installed as a per-path rate limit; Path carries the limited
+	// path, Value the limit in bits/second (0 = released), and Peer the
+	// advertising router's ID.
+	EventFeedbackApplied
 
 	numEventTypes
 )
@@ -50,6 +55,7 @@ var eventTypeNames = [numEventTypes]string{
 	EventPathExpired:          "PathExpired",
 	EventModeChanged:          "ModeChanged",
 	EventControlRunCompleted:  "ControlRunCompleted",
+	EventFeedbackApplied:      "FeedbackApplied",
 }
 
 // NumEventTypes returns the number of defined event types.
@@ -111,6 +117,7 @@ type Event struct {
 	Mode   string    `json:"mode,omitempty"`   // queue mode label
 	Value  float64   `json:"value,omitempty"`  // event-specific payload
 	Shard  uint32    `json:"shard,omitempty"`  // dataplane shard index (0 in single-router runs)
+	Peer   uint32    `json:"peer,omitempty"`   // advertising router ID (cluster feedback events)
 }
 
 // Trace is a bounded ring buffer of events. Once full, the oldest events

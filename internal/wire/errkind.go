@@ -24,6 +24,9 @@ const (
 	ErrKindLength
 	ErrKindSlot
 	ErrKindFraming
+	ErrKindHops
+	ErrKindCount
+	ErrKindTTL
 	NumErrorKinds //floc:enumbound
 )
 
@@ -49,6 +52,12 @@ func (k ErrorKind) String() string {
 		return "slot"
 	case ErrKindFraming:
 		return "framing"
+	case ErrKindHops:
+		return "hops"
+	case ErrKindCount:
+		return "count"
+	case ErrKindTTL:
+		return "ttl"
 	default:
 		return "unknown"
 	}
@@ -74,6 +83,12 @@ func KindOfError(err error) ErrorKind {
 		return ErrKindLength
 	case errors.Is(err, ErrSlot):
 		return ErrKindSlot
+	case errors.Is(err, ErrHops):
+		return ErrKindHops
+	case errors.Is(err, ErrCount):
+		return ErrKindCount
+	case errors.Is(err, ErrTTL):
+		return ErrKindTTL
 	default:
 		return ErrKindNone
 	}

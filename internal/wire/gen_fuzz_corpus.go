@@ -9,7 +9,9 @@
 // boundaries instead of the all-zero input: a minimal valid header, a
 // max-length AS path, a capability trailer, and one input per typed
 // decode-error shape (ErrShort, ErrVersion, ErrFlags, ErrKind,
-// ErrPathLen, ErrLength).
+// ErrPathLen, ErrLength). FuzzControlFrameDecode gets the same
+// treatment for control frames: minimal and maximal valid frames plus
+// one seed per typed error (ErrHops, ErrCount, ErrTTL, ...).
 package main
 
 import (
@@ -101,4 +103,56 @@ func main() {
 	writeSeed(dir, "capability", rt(uint8(wire.FlagCapability), 4, 10, 20, 1500, 3, ^uint64(0), 1, 255, 42))
 	writeSeed(dir, "all-flags", rt(0xff, 3, 1, 1, 1, 1, 1, 1, 1, 1))
 	writeSeed(dir, "zero-length-clamped", rt(0, 2, 0, 0, 0, 2, 0, 0, 0, 7))
+
+	marshalControl := func(f wire.ControlFrame) []byte {
+		b, err := wire.MarshalControlAppend(nil, &f)
+		if err != nil {
+			log.Fatalf("marshal control seed: %v", err)
+		}
+		return b
+	}
+	minimal := wire.ControlFrame{
+		Version: wire.ControlVersion1, Kind: wire.ControlFeedback,
+		Origin: 1, Seq: 1, TTLMillis: 1000, NumRecords: 1,
+	}
+	minimal.Records[0] = wire.FeedbackRecord{PathLen: 1, LimitBits: 1_000_000}
+	minimal.Records[0].Path[0] = 100
+	maximal := wire.ControlFrame{
+		Version: wire.ControlVersion1, Kind: wire.ControlFeedback,
+		Hops: wire.MaxControlHops, Origin: 0xffffffff, Seq: ^uint64(0),
+		TTLMillis: 0xffff, NumRecords: wire.MaxFeedbackRecords,
+	}
+	for i := 0; i < wire.MaxFeedbackRecords; i++ {
+		maximal.Records[i].PathLen = wire.MaxPathLen
+		for j := 0; j < wire.MaxPathLen; j++ {
+			maximal.Records[i].Path[j] = pathid.ASN(i*wire.MaxPathLen + j)
+		}
+		maximal.Records[i].LimitBits = uint64(i) << 20
+	}
+	release := minimal
+	release.Records[0].LimitBits = 0
+
+	cv := marshalControl(minimal)
+	cmutate := func(i int, v byte) []byte {
+		b := append([]byte(nil), cv...)
+		b[i] = v
+		return b
+	}
+	dir = filepath.Join("internal", "wire", "testdata", "fuzz", "FuzzControlFrameDecode")
+	bytesSeed(dir, "valid-minimal", cv)
+	bytesSeed(dir, "valid-max", marshalControl(maximal))
+	bytesSeed(dir, "valid-release", marshalControl(release))
+	bytesSeed(dir, "err-short-fixed", cv[:6])
+	bytesSeed(dir, "err-short-record", cv[:len(cv)-3])
+	bytesSeed(dir, "err-version", cmutate(0, wire.Version1))
+	bytesSeed(dir, "err-kind", cmutate(1, 0xee))
+	bytesSeed(dir, "err-hops", cmutate(2, wire.MaxControlHops+1))
+	bytesSeed(dir, "err-count-zero", cmutate(3, 0))
+	bytesSeed(dir, "err-count-over", cmutate(3, wire.MaxFeedbackRecords+1))
+	bytesSeed(dir, "err-ttl-zero", func() []byte {
+		b := append([]byte(nil), cv...)
+		b[16], b[17] = 0, 0
+		return b
+	}())
+	bytesSeed(dir, "err-record-pathlen", cmutate(18, wire.MaxPathLen+1))
 }

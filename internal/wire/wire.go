@@ -92,6 +92,13 @@ var (
 	ErrLength = errors.New("wire: invalid packet length")
 	// ErrSlot reports a capability slot outside the encodable [0, 255].
 	ErrSlot = errors.New("wire: capability slot out of range")
+	// ErrHops reports a control-frame hop budget above MaxControlHops.
+	ErrHops = errors.New("wire: control hop budget out of range")
+	// ErrCount reports a control-frame record count outside
+	// [1, MaxFeedbackRecords].
+	ErrCount = errors.New("wire: control record count out of range")
+	// ErrTTL reports a zero control-frame TTL.
+	ErrTTL = errors.New("wire: zero control TTL")
 )
 
 // Header is the decoded FLoc shim header. Path identifiers live in a
@@ -142,6 +149,11 @@ func errBadFlags(bad Flags) error { return fmt.Errorf("%w: %#02x", ErrFlags, uin
 //
 // floc:coldpath error construction is off the codec fast path
 func errZeroLength() error { return fmt.Errorf("%w: zero", ErrLength) }
+
+// errZeroTTL reports a zero control-frame TTL.
+//
+// floc:coldpath error construction is off the codec fast path
+func errZeroTTL() error { return fmt.Errorf("%w: zero", ErrTTL) }
 
 // EncodedLen returns the exact number of bytes MarshalAppend would write.
 //

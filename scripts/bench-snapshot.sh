@@ -13,6 +13,10 @@
 #   dropfilter_locality  BenchmarkFilterLocality          ns/op (blocked-layout
 #                        record+query over an 8 MiB working set)
 #   wire_decode          BenchmarkWireDecode              ns/op (codec)
+#   feedback_encode      BenchmarkControlEncode           ns/op (cluster
+#                        control-frame marshal, the Publish hot loop)
+#   limit_install        BenchmarkLimitInstall            ns/op (one
+#                        InstallLimit command barrier round trip)
 #
 # Usage: scripts/bench-snapshot.sh [output.json]   (default BENCH_0.json)
 #
@@ -47,6 +51,8 @@ sharded=$(bench ./internal/dataplane '^BenchmarkDataplaneEnqueueSharded$')
 filter=$(bench ./internal/dropfilter '^BenchmarkFilterUpdate$')
 locality=$(bench ./internal/dropfilter '^BenchmarkFilterLocality$')
 wire=$(bench ./internal/wire '^BenchmarkWireDecode$')
+feedback=$(bench ./internal/wire '^BenchmarkControlEncode$')
+install=$(bench ./internal/dataplane '^BenchmarkLimitInstall$')
 
 # best_ns <benchmark output lines> — minimum ns/op over the -count runs.
 best_ns() {
@@ -95,8 +101,12 @@ best_by() {
         "$(best_ns "$filter")"
     printf '    "dropfilter_locality": {"bench": "BenchmarkFilterLocality", "ns_per_op": %s},\n' \
         "$(best_ns "$locality")"
-    printf '    "wire_decode": {"bench": "BenchmarkWireDecode", "ns_per_op": %s}\n' \
+    printf '    "wire_decode": {"bench": "BenchmarkWireDecode", "ns_per_op": %s},\n' \
         "$(best_ns "$wire")"
+    printf '    "feedback_encode": {"bench": "BenchmarkControlEncode", "ns_per_op": %s},\n' \
+        "$(best_ns "$feedback")"
+    printf '    "limit_install": {"bench": "BenchmarkLimitInstall", "ns_per_op": %s}\n' \
+        "$(best_ns "$install")"
     printf '  }\n'
     printf '}\n'
 } > "$out"

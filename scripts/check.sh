@@ -40,6 +40,13 @@
 #                then require floctrace verify (Merkle roots, record
 #                chain, inclusion proofs) and floctrace replay (sealed
 #                events fold to the claimed snapshot) to both pass
+#   cluster-gate the cluster control plane end to end through real UDP
+#                sockets: a 3-tier flocd chain on loopback (data
+#                leaf->mid->root, feedback root->mid->leaf) is fed a
+#                flooding capture; the root must originate pushback
+#                feedback, the mid must apply and relay it, and the leaf
+#                must install the propagated limits and drop flood
+#                packets before forwarding
 #   perf-gate    scripts/bench-snapshot.sh to a scratch file, compared
 #                against the latest committed BENCH_*.json by cmd/perfgate;
 #                fails on any family more than PERF_REGRESSION_PCT percent
@@ -220,6 +227,76 @@ run "$ledger_tmp/floctrace" replay -ledger "$ledger_tmp/ledger"
 rm -rf "$ledger_tmp"
 end
 
+begin cluster-gate
+# The multi-router story, end to end through real sockets: traffic enters
+# at the leaf daemon, is forwarded hop by hop to the root whose 20 Mb/s
+# link is the bottleneck, and the resulting pushback limits must
+# propagate the opposite way — root originates control frames, mid
+# applies and relays them, leaf installs the limits and sheds the flood
+# before forwarding. Every assertion reads the daemons' own /metrics
+# through topogen -probe (no curl dependency).
+cluster_tmp=$(mktemp -d "${TMPDIR:-/tmp}/floc-cluster-XXXXXX")
+run go build -o "$cluster_tmp/flocd" ./cmd/flocd
+run go build -o "$cluster_tmp/topogen" ./cmd/topogen
+run "$cluster_tmp/flocd" -gen 64000 -out "$cluster_tmp/capture.ndjson"
+"$cluster_tmp/flocd" -listen 127.0.0.1:19103 -router-id 3 -peers 127.0.0.1:19202 \
+    -link 20e6 -metrics 127.0.0.1:19303 2>"$cluster_tmp/root.log" &
+cluster_root=$!
+"$cluster_tmp/flocd" -listen 127.0.0.1:19102 -router-id 2 -control 127.0.0.1:19202 \
+    -peers 127.0.0.1:19201 -forward 127.0.0.1:19103 -link 100e6 \
+    -metrics 127.0.0.1:19302 2>"$cluster_tmp/mid.log" &
+cluster_mid=$!
+"$cluster_tmp/flocd" -listen 127.0.0.1:19101 -router-id 1 -control 127.0.0.1:19201 \
+    -forward 127.0.0.1:19102 -link 100e6 \
+    -metrics 127.0.0.1:19301 2>"$cluster_tmp/leaf.log" &
+cluster_leaf=$!
+cluster_up() { # cluster_up <metrics port>
+    i=0
+    until "$cluster_tmp/topogen" -probe "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "cluster-gate: daemon on port $1 never came up" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+cluster_up 19301; cluster_up 19302; cluster_up 19303
+run "$cluster_tmp/flocd" -replay "$cluster_tmp/capture.ndjson" \
+    -sendto 127.0.0.1:19101 -pace 0.3
+sleep 1 # one more publish interval, so in-flight feedback lands
+# metric_sum <metrics port> <series prefix> — sum every matching series,
+# so the assertions hold at any shard count.
+metric_sum() {
+    "$cluster_tmp/topogen" -probe "http://127.0.0.1:$1/metrics" |
+        awk -v p="$2" 'index($1, p) == 1 { s += $2 } END { print s + 0 }'
+}
+assert_pos() { # assert_pos <description> <value>
+    echo "   $1 = $2" >&2
+    awk -v v="$2" 'BEGIN { exit v + 0 > 0 ? 0 : 1 }' || {
+        echo "cluster-gate: $1 must be > 0" >&2
+        exit 1
+    }
+}
+assert_pos "root: feedback frames sent" \
+    "$(metric_sum 19303 'floc_cluster_feedback_sent_total')"
+assert_pos "mid: records applied from root (origin 3)" \
+    "$(metric_sum 19302 'floc_cluster_feedback_applied_total{peer="3"}')"
+assert_pos "mid: installed limits" \
+    "$(metric_sum 19302 'floc_cluster_installed_limits')"
+assert_pos "mid: feedback frames relayed to leaf" \
+    "$(metric_sum 19302 'floc_cluster_feedback_sent_total')"
+assert_pos "leaf: records applied from mid (origin 2)" \
+    "$(metric_sum 19301 'floc_cluster_feedback_applied_total{peer="2"}')"
+assert_pos "leaf: installed limits" \
+    "$(metric_sum 19301 'floc_cluster_installed_limits')"
+assert_pos "leaf: flood packets shed by propagated limits" \
+    "$(metric_sum 19301 'floc_cluster_limit_dropped_total')"
+kill -INT "$cluster_leaf" "$cluster_mid" "$cluster_root" 2>/dev/null || true
+wait "$cluster_leaf" "$cluster_mid" "$cluster_root" 2>/dev/null || true
+rm -rf "$cluster_tmp"
+end
+
 PERF_REGRESSION_PCT="${PERF_REGRESSION_PCT:-10}"
 if [ "$PERF_REGRESSION_PCT" != "0" ]; then
     begin perf-gate
@@ -249,6 +326,7 @@ if [ "$FUZZTIME" != "0" ]; then
     run go test -run='^$' -fuzz='^FuzzCapability$' -fuzztime "$FUZZTIME" ./internal/capability
     run go test -run='^$' -fuzz='^FuzzWireDecode$' -fuzztime "$FUZZTIME" ./internal/wire
     run go test -run='^$' -fuzz='^FuzzWireRoundTrip$' -fuzztime "$FUZZTIME" ./internal/wire
+    run go test -run='^$' -fuzz='^FuzzControlFrameDecode$' -fuzztime "$FUZZTIME" ./internal/wire
     end
 fi
 
